@@ -1,0 +1,123 @@
+// Command lbsbench regenerates the paper's evaluation: every figure
+// (11–21) and Table 1, printed as text tables whose rows/series mirror
+// what the paper plots.
+//
+// Usage:
+//
+//	lbsbench -experiment fig14              # one experiment, quick scale
+//	lbsbench -experiment all -scale paper   # the whole evaluation
+//	lbsbench -experiment table1 -runs 10 -n 3000 -budget 20000
+//
+// Scales: "quick" (seconds, for smoke runs) and "paper" (the paper's
+// 25-run settings); individual -n/-runs/-budget/-k flags override the
+// chosen scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner func(experiments.Config) (*experiments.Figure, error)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "experiment id: fig11..fig21, table1, or all")
+		scale  = flag.String("scale", "quick", `scale preset: "quick" or "paper"`)
+		n      = flag.Int("n", 0, "dataset size override")
+		runs   = flag.Int("runs", 0, "repetitions override")
+		budget = flag.Int64("budget", 0, "per-run query budget override")
+		k      = flag.Int("k", 0, "service top-k override")
+		seed   = flag.Int64("seed", 0, "base seed override")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "paper":
+		cfg = experiments.Paper()
+	case "quick":
+		cfg = experiments.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *k > 0 {
+		cfg.K = *k
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	figures := map[string]runner{
+		"fig11": experiments.Fig11,
+		"fig12": experiments.Fig12,
+		"fig13": experiments.Fig13,
+		"fig14": experiments.Fig14,
+		"fig15": experiments.Fig15,
+		"fig16": experiments.Fig16,
+		"fig17": experiments.Fig17,
+		"fig18": experiments.Fig18,
+		"fig19": experiments.Fig19,
+		"fig20": experiments.Fig20,
+		"fig21": experiments.Fig21,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for id := range figures {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		ids = append(ids, "table1", "mse")
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		switch {
+		case id == "table1":
+			rows, err := experiments.Table1(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+				os.Exit(1)
+			}
+			experiments.WriteTable1(os.Stdout, rows)
+		case id == "mse":
+			rows, err := experiments.MSEDecomposition(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mse: %v\n", err)
+				os.Exit(1)
+			}
+			experiments.WriteMSE(os.Stdout, rows)
+		case figures[id] != nil:
+			fig, err := figures[id](cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+			if err := fig.Write(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig11..fig21, table1, mse, all)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,96 @@
+// Command lbsgen generates a synthetic LBS dataset as JSON, for
+// inspection or for loading into external tools. Scenarios mirror the
+// paper's evaluation data (see internal/workload).
+//
+// Usage:
+//
+//	lbsgen -scenario schools -n 2000 -seed 7 > schools.json
+//	lbsgen -scenario wechat -n 5000 -o users.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// jsonTuple is the serialized tuple form.
+type jsonTuple struct {
+	ID       int64              `json:"id"`
+	X        float64            `json:"x"`
+	Y        float64            `json:"y"`
+	Name     string             `json:"name,omitempty"`
+	Category string             `json:"category,omitempty"`
+	Attrs    map[string]float64 `json:"attrs,omitempty"`
+	Tags     map[string]string  `json:"tags,omitempty"`
+}
+
+type jsonDataset struct {
+	Scenario string      `json:"scenario"`
+	MinX     float64     `json:"min_x"`
+	MinY     float64     `json:"min_y"`
+	MaxX     float64     `json:"max_x"`
+	MaxY     float64     `json:"max_y"`
+	Tuples   []jsonTuple `json:"tuples"`
+}
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "schools", "schools | restaurants | starbucks | wechat | weibo")
+		n        = flag.Int("n", 2000, "number of tuples")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var sc *workload.Scenario
+	switch *scenario {
+	case "schools":
+		sc = workload.USASchools(*n, *seed)
+	case "restaurants":
+		sc = workload.USARestaurants(*n, *seed)
+	case "starbucks":
+		sc = workload.StarbucksUS(*n, *n*4, *seed)
+	case "wechat":
+		sc = workload.WeChatChina(*n, *seed)
+	case "weibo":
+		sc = workload.WeiboChina(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	ds := jsonDataset{
+		Scenario: sc.Name,
+		MinX:     sc.Bounds.Min.X, MinY: sc.Bounds.Min.Y,
+		MaxX: sc.Bounds.Max.X, MaxY: sc.Bounds.Max.Y,
+	}
+	for i := 0; i < sc.DB.Len(); i++ {
+		t := sc.DB.Tuple(i)
+		ds.Tuples = append(ds.Tuples, jsonTuple{
+			ID: t.ID, X: t.Loc.X, Y: t.Loc.Y,
+			Name: t.Name, Category: t.Category, Attrs: t.Attrs, Tags: t.Tags,
+		})
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ds); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

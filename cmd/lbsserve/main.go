@@ -1,0 +1,55 @@
+// Command lbsserve runs a simulated location based service behind the
+// HTTP API of internal/httpapi — the test bed for running the
+// estimators against a networked service:
+//
+//	lbsserve -scenario schools -n 2000 -k 10 -addr :8080 &
+//	# then point an httpapi.Client (or curl) at it:
+//	curl 'localhost:8080/v1/lr?x=1200&y=900'
+//	curl 'localhost:8080/v1/lnr?x=1200&y=900&category=school'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/httpapi"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "schools", "schools | restaurants | starbucks | wechat | weibo")
+		n        = flag.Int("n", 2000, "number of tuples")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		k        = flag.Int("k", 10, "interface top-k")
+		budget   = flag.Int64("budget", 0, "total query budget (0 = unlimited)")
+		radius   = flag.Float64("radius", 0, "maximum coverage radius (0 = unlimited)")
+		addr     = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var sc *workload.Scenario
+	switch *scenario {
+	case "schools":
+		sc = workload.USASchools(*n, *seed)
+	case "restaurants":
+		sc = workload.USARestaurants(*n, *seed)
+	case "starbucks":
+		sc = workload.StarbucksUS(*n, *n*4, *seed)
+	case "wechat":
+		sc = workload.WeChatChina(*n, *seed)
+	case "weibo":
+		sc = workload.WeiboChina(*n, *seed)
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+
+	svc := lbs.NewService(sc.DB, lbs.Options{
+		K: *k, Budget: *budget, MaxRadius: *radius,
+	})
+	fmt.Printf("serving %s (%d tuples, k=%d) on %s\n", sc.Name, sc.DB.Len(), *k, *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.NewServer(svc)))
+}

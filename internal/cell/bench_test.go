@@ -1,0 +1,77 @@
+package cell
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// BenchmarkBuildTop1 measures exact top-1 cell construction with the
+// distance-pruned insertion — the inner loop of every LR sample.
+func BenchmarkBuildTop1(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 500)
+	sites := make([]Site, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		sites = append(sites, Site{Key: int64(i), Loc: pts[i]})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFromSites(unitBox.Polygon(), 1, pts[0], sites)
+	}
+}
+
+// BenchmarkBuildTop5 measures the cost growth for top-k subdivisions
+// (more faces, count bookkeeping) — the price of the §3.2.3 device.
+func BenchmarkBuildTop5(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(rng, 500)
+	sites := make([]Site, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		sites = append(sites, Site{Key: int64(i), Loc: pts[i]})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFromSites(unitBox.Polygon(), 5, pts[0], sites)
+	}
+}
+
+// BenchmarkAddCut measures a single subdivision refinement.
+func BenchmarkAddCut(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := NewFromRect(unitBox, 3)
+		b.StartTimer()
+		for j := 1; j < len(pts); j++ {
+			c.AddCut(Cut{Line: geom.Bisector(pts[0], pts[j]), Key: int64(j)})
+		}
+	}
+}
+
+// BenchmarkRandomPoint measures region sampling (the §3.2.4 Monte-
+// Carlo trial generator).
+func BenchmarkRandomPoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 200)
+	c := buildFor(pts, 0, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RandomPoint(rng)
+	}
+}
+
+// BenchmarkVertices measures vertex-set extraction (the Theorem-1
+// test-point enumeration).
+func BenchmarkVertices(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 200)
+	c := buildFor(pts, 0, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Vertices()
+	}
+}

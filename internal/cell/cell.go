@@ -1,0 +1,398 @@
+// Package cell implements top-k Voronoi cell regions as convex
+// subdivisions ("cell complexes").
+//
+// Given a target tuple t and a set of "cuts" — perpendicular bisectors
+// between t and other tuples, each oriented so that one side is closer
+// to t — the top-k Voronoi cell of t with respect to those tuples is
+//
+//	V_k(t) = { q : |{cuts whose far side contains q}| ≤ k−1 },
+//
+// because crossing a bisector between two tuples other than t never
+// changes how many tuples are closer to q than t. For k = 1 the region
+// is the classical (convex) Voronoi cell; for k > 1 it may be concave
+// (Figure 1 of the paper), which is why the region is represented as a
+// set of disjoint convex faces, each annotated with its "closer count".
+//
+// The complex supports the operations both estimation algorithms need:
+// exact area, the vertex set (for the Theorem-1 confirmation loop),
+// membership tests, per-h sub-areas (λ_h upper bounds for the variance
+// reduction of §3.2.3), and uniform random sampling (for the
+// Monte-Carlo device of §3.2.4).
+package cell
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Face is one convex piece of the subdivision. Count is the number of
+// registered cuts whose far side (closer to the cut's other tuple than
+// to the target) contains the face.
+type Face struct {
+	Poly  geom.Polygon
+	Count int
+}
+
+// Cut is one oriented bisector: the negative side of Line is the side
+// closer to the target tuple t. Key identifies the other tuple (an ID
+// or index) so callers can deduplicate; Source records provenance for
+// diagnostics.
+type Cut struct {
+	Line geom.Line
+	// Key identifies the opposing tuple. Cuts with a Key already
+	// registered are ignored by AddCut.
+	Key int64
+}
+
+// Complex is a top-k Voronoi cell region under construction. The zero
+// value is not usable; construct with New.
+type Complex struct {
+	k     int
+	bound geom.Polygon
+	faces []Face
+	cuts  map[int64]geom.Line
+	// cachedArea < 0 means dirty.
+	cachedArea float64
+}
+
+// New returns a complex over the given convex bounding polygon for the
+// top-k cell of a target. k must be ≥ 1 and bound non-degenerate.
+func New(bound geom.Polygon, k int) *Complex {
+	if k < 1 {
+		panic("cell: k must be ≥ 1")
+	}
+	if bound.Area() < geom.Eps {
+		panic("cell: degenerate bounding polygon")
+	}
+	return &Complex{
+		k:          k,
+		bound:      bound.Clone(),
+		faces:      []Face{{Poly: bound.Clone(), Count: 0}},
+		cuts:       make(map[int64]geom.Line),
+		cachedArea: -1,
+	}
+}
+
+// NewFromRect is a convenience wrapper building the complex over a
+// rectangular bounding box.
+func NewFromRect(bound geom.Rect, k int) *Complex {
+	return New(bound.Polygon(), k)
+}
+
+// K returns the k this complex was built for.
+func (c *Complex) K() int { return c.k }
+
+// Bound returns the bounding polygon the complex started from.
+func (c *Complex) Bound() geom.Polygon { return c.bound }
+
+// NumCuts returns the number of distinct registered cuts.
+func (c *Complex) NumCuts() int { return len(c.cuts) }
+
+// NumFaces returns the number of convex faces currently in the region.
+func (c *Complex) NumFaces() int { return len(c.faces) }
+
+// HasCut reports whether a cut with the given key is registered.
+func (c *Complex) HasCut(key int64) bool {
+	_, ok := c.cuts[key]
+	return ok
+}
+
+// CutLine returns the registered line for key.
+func (c *Complex) CutLine(key int64) (geom.Line, bool) {
+	l, ok := c.cuts[key]
+	return l, ok
+}
+
+// CutKeys returns the keys of all registered cuts in ascending order.
+func (c *Complex) CutKeys() []int64 {
+	keys := make([]int64, 0, len(c.cuts))
+	for k := range c.cuts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// AddCut registers a new oriented bisector and refines the subdivision:
+// every face is split by the cut; the piece on the far (positive) side
+// has its count incremented and is dropped once the count reaches k.
+// It returns true if the cut changed the region (was new and clipped at
+// least one face).
+func (c *Complex) AddCut(cut Cut) bool {
+	if _, dup := c.cuts[cut.Key]; dup {
+		return false
+	}
+	c.cuts[cut.Key] = cut.Line
+	changed := false
+	out := c.faces[:0:0]
+	for _, f := range c.faces {
+		neg, pos := f.Poly.Split(cut.Line)
+		if pos == nil {
+			// Entire face on the near side: unchanged.
+			out = append(out, f)
+			continue
+		}
+		changed = true
+		if neg != nil {
+			out = append(out, Face{Poly: neg, Count: f.Count})
+		}
+		if f.Count+1 <= c.k-1 {
+			out = append(out, Face{Poly: pos, Count: f.Count + 1})
+		}
+	}
+	c.faces = out
+	c.cachedArea = -1
+	return changed
+}
+
+// ReplaceCut removes the cut with the given key (if any) and re-adds it
+// with a refined line. Because faces cannot be un-split incrementally,
+// the complex is rebuilt from all registered cuts. Used by the LNR
+// algorithm when a binary search produces a more precise estimate of an
+// edge already discovered.
+func (c *Complex) ReplaceCut(cut Cut) {
+	c.cuts[cut.Key] = cut.Line
+	c.rebuild()
+}
+
+// rebuild reconstructs the subdivision from the bound and the current
+// cut set.
+func (c *Complex) rebuild() {
+	c.faces = []Face{{Poly: c.bound.Clone(), Count: 0}}
+	cuts := c.cuts
+	c.cuts = make(map[int64]geom.Line, len(cuts))
+	// Insert in sorted-key order for determinism.
+	keys := make([]int64, 0, len(cuts))
+	for k := range cuts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		c.AddCut(Cut{Line: cuts[k], Key: k})
+	}
+	c.cachedArea = -1
+}
+
+// Area returns the exact area of the region (faces with count ≤ k−1).
+func (c *Complex) Area() float64 {
+	if c.cachedArea >= 0 {
+		return c.cachedArea
+	}
+	var a float64
+	for _, f := range c.faces {
+		a += f.Poly.Area()
+	}
+	c.cachedArea = a
+	return a
+}
+
+// AreaAtMost returns the area of the sub-region with count ≤ h−1, i.e.
+// the (tentative) top-h Voronoi cell for any h ≤ k. With cuts derived
+// from a subset of the database this is exactly the λ_h upper bound of
+// §3.2.3. AreaAtMost(k) == Area().
+func (c *Complex) AreaAtMost(h int) float64 {
+	if h >= c.k {
+		return c.Area()
+	}
+	var a float64
+	for _, f := range c.faces {
+		if f.Count <= h-1 {
+			a += f.Poly.Area()
+		}
+	}
+	return a
+}
+
+// Contains reports whether p lies in the region. Points exactly on
+// internal subdivision edges are resolved by direct counting against
+// the cuts, which is unambiguous.
+func (c *Complex) Contains(p geom.Point) bool {
+	if !c.bound.Contains(p) {
+		return false
+	}
+	count := 0
+	for _, l := range c.cuts {
+		if l.Eval(p) > geom.Eps {
+			count++
+			if count > c.k-1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CloserCount returns the number of cuts whose far side strictly
+// contains p — i.e. how many of the registered opposing tuples are
+// closer to p than the target is.
+func (c *Complex) CloserCount(p geom.Point) int {
+	count := 0
+	for _, l := range c.cuts {
+		if l.Eval(p) > geom.Eps {
+			count++
+		}
+	}
+	return count
+}
+
+// Faces returns the current faces. The returned slice is shared; treat
+// it as read-only.
+func (c *Complex) Faces() []Face { return c.faces }
+
+// Vertices returns the deduplicated vertex set of all faces of the
+// region. This is a superset of the vertices of the region's outer
+// boundary: internal subdivision vertices are included. For the
+// Theorem-1 confirmation loop a superset is harmless — querying an
+// interior vertex either confirms known tuples or reveals an unseen
+// tuple, both of which keep the loop sound — it only costs extra
+// queries (and is exactly what makes k>1 concavity handling uniform).
+func (c *Complex) Vertices() []geom.Point {
+	var pts []geom.Point
+	for _, f := range c.faces {
+		pts = append(pts, f.Poly...)
+	}
+	return dedupePoints(pts, 1e-7)
+}
+
+// BoundaryVertices returns only vertices lying on the outer boundary of
+// the region (vertices where the region does not locally cover a full
+// disk). A vertex is classified as internal when every incident face
+// test point around it stays inside the region; we approximate this by
+// probing 8 points on a tiny circle around the vertex.
+func (c *Complex) BoundaryVertices() []geom.Point {
+	verts := c.Vertices()
+	scale := math.Sqrt(c.bound.Area()) * 1e-6
+	if scale < geom.Eps {
+		scale = geom.Eps
+	}
+	var out []geom.Point
+	for _, v := range verts {
+		inside := 0
+		for i := 0; i < 8; i++ {
+			ang := float64(i) * math.Pi / 4
+			p := v.Add(geom.Pt(math.Cos(ang), math.Sin(ang)).Scale(scale))
+			if c.Contains(p) {
+				inside++
+			}
+		}
+		if inside < 8 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RandomPoint returns a point uniformly distributed over the region:
+// a face is chosen with probability proportional to its area and a
+// point sampled uniformly inside it. It returns false when the region
+// is empty.
+func (c *Complex) RandomPoint(rng *rand.Rand) (geom.Point, bool) {
+	total := c.Area()
+	if total < geom.Eps {
+		return geom.Point{}, false
+	}
+	target := rng.Float64() * total
+	for _, f := range c.faces {
+		a := f.Poly.Area()
+		if target < a {
+			return geom.RandomInPolygon(rng, f.Poly), true
+		}
+		target -= a
+	}
+	// Floating point slack: fall back to the last face.
+	last := c.faces[len(c.faces)-1]
+	return geom.RandomInPolygon(rng, last.Poly), true
+}
+
+// MaxDistFrom returns the maximum distance from p to the region
+// (attained at a face vertex).
+func (c *Complex) MaxDistFrom(p geom.Point) float64 {
+	var m float64
+	for _, f := range c.faces {
+		if d := f.Poly.MaxDistFrom(p); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// WithK returns a new complex over the same cuts restricted to top-h
+// membership (h ≤ the receiver's k): the faces with count ≤ h−1. Used
+// by the adaptive variance-reduction device (§3.2.3), which evaluates
+// all candidate top-h cells from one history-derived top-k subdivision
+// and then continues refinement at the chosen h.
+func (c *Complex) WithK(h int) *Complex {
+	if h >= c.k {
+		return c.Clone()
+	}
+	if h < 1 {
+		panic("cell: WithK h must be ≥ 1")
+	}
+	out := &Complex{
+		k:          h,
+		bound:      c.bound.Clone(),
+		cuts:       make(map[int64]geom.Line, len(c.cuts)),
+		cachedArea: -1,
+	}
+	for k, l := range c.cuts {
+		out.cuts[k] = l
+	}
+	for _, f := range c.faces {
+		if f.Count <= h-1 {
+			out.faces = append(out.faces, Face{Poly: f.Poly.Clone(), Count: f.Count})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the complex.
+func (c *Complex) Clone() *Complex {
+	out := &Complex{
+		k:          c.k,
+		bound:      c.bound.Clone(),
+		faces:      make([]Face, len(c.faces)),
+		cuts:       make(map[int64]geom.Line, len(c.cuts)),
+		cachedArea: c.cachedArea,
+	}
+	for i, f := range c.faces {
+		out.faces[i] = Face{Poly: f.Poly.Clone(), Count: f.Count}
+	}
+	for k, l := range c.cuts {
+		out.cuts[k] = l
+	}
+	return out
+}
+
+// dedupePoints removes near-duplicate points using a rounding grid of
+// the given tolerance plus pairwise confirmation within each bucket.
+func dedupePoints(pts []geom.Point, tol float64) []geom.Point {
+	type key struct{ x, y int64 }
+	seen := make(map[key][]geom.Point, len(pts))
+	var out []geom.Point
+	for _, p := range pts {
+		// Check the 3×3 neighborhood of rounding buckets so points
+		// straddling a bucket boundary still match.
+		kx := int64(math.Floor(p.X / tol))
+		ky := int64(math.Floor(p.Y / tol))
+		dup := false
+	outer:
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, q := range seen[key{kx + dx, ky + dy}] {
+					if p.ApproxEq(q, tol) {
+						dup = true
+						break outer
+					}
+				}
+			}
+		}
+		if !dup {
+			seen[key{kx, ky}] = append(seen[key{kx, ky}], p)
+			out = append(out, p)
+		}
+	}
+	return out
+}

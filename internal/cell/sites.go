@@ -1,0 +1,63 @@
+package cell
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Site pairs a tuple identifier with its known location. Used when
+// locations are available (LR-LBS interfaces and ground-truth
+// computation).
+type Site struct {
+	Key int64
+	Loc geom.Point
+}
+
+// BuildFromSites constructs the top-k cell of a target located at
+// target with respect to the given sites (which must not include the
+// target itself), over the given bounding polygon.
+//
+// Sites are processed in order of increasing distance from the target
+// so that the standard pruning rule applies: a site s can affect the
+// region only if some region point p is closer to s than to the target,
+// which requires d(target, s) < 2·max_p d(target, p); once the sorted
+// distance exceeds twice the current maximum region distance, no later
+// site can cut the region and insertion stops. The rule is valid for
+// any k because it bounds where the bisector B(target, s) can reach.
+func BuildFromSites(bound geom.Polygon, k int, target geom.Point, sites []Site) *Complex {
+	c := New(bound, k)
+	InsertSites(c, target, sites)
+	return c
+}
+
+// InsertSites adds bisector cuts between target and each site into an
+// existing complex, using the distance-ordered pruning rule described
+// at BuildFromSites. Sites whose Key is already registered, or that
+// coincide with the target within Eps, are skipped. It returns the
+// number of cuts that changed the region.
+func InsertSites(c *Complex, target geom.Point, sites []Site) int {
+	ordered := make([]Site, 0, len(sites))
+	for _, s := range sites {
+		if c.HasCut(s.Key) || s.Loc.Dist(target) < geom.Eps {
+			continue
+		}
+		ordered = append(ordered, s)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return target.Dist2(ordered[i].Loc) < target.Dist2(ordered[j].Loc)
+	})
+	changed := 0
+	maxDist := c.MaxDistFrom(target)
+	for _, s := range ordered {
+		d := target.Dist(s.Loc)
+		if d > 2*maxDist+geom.Eps {
+			break
+		}
+		if c.AddCut(Cut{Line: geom.Bisector(target, s.Loc), Key: s.Key}) {
+			changed++
+			maxDist = c.MaxDistFrom(target)
+		}
+	}
+	return changed
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lbs"
+)
+
+// BenchmarkLRCellComputation measures one full exact-cell weight
+// computation (queries are in-process, so this is the algorithmic
+// overhead, not the simulated network).
+func BenchmarkLRCellComputation(b *testing.B) {
+	db := smallService2(500, 31)
+	svc := lbs.NewService(db, lbs.Options{K: 5})
+	agg := NewLRAggregator(svc, DefaultLROptions(1))
+	// Warm the history so the benchmark reflects steady state.
+	if _, err := agg.Run([]Aggregate{Count()}, 50, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Step([]Aggregate{Count()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(svc.QueryCount())/float64(agg.Stats().Samples), "queries/sample")
+}
+
+// BenchmarkLNRCellInference measures one rank-only sample (cell
+// inference via binary search).
+func BenchmarkLNRCellInference(b *testing.B) {
+	db := smallService2(500, 37)
+	svc := lbs.NewService(db, lbs.Options{K: 5})
+	agg := NewLNRAggregator(svc, LNROptions{Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Step([]Aggregate{Count()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(svc.QueryCount())/float64(agg.Stats().Samples), "queries/sample")
+}
+
+// BenchmarkNNOSample measures one baseline sample.
+func BenchmarkNNOSample(b *testing.B) {
+	db := smallService2(500, 41)
+	svc := lbs.NewService(db, lbs.Options{K: 1})
+	nno := NewNNOBaseline(svc, NNOOptions{Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nno.Step([]Aggregate{Count()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(svc.QueryCount())/float64(b.N), "queries/sample")
+}
+
+// BenchmarkLocalize measures one §4.3 position inference.
+func BenchmarkLocalize(b *testing.B) {
+	db := smallService2(300, 43)
+	svc := lbs.NewService(db, lbs.Options{K: 8})
+	agg := NewLNRAggregator(svc, LNROptions{Seed: 4})
+	b.ResetTimer()
+	ok := 0
+	for i := 0; i < b.N; i++ {
+		idx := i % db.Len()
+		if _, err := agg.Localize(db.Tuple(idx).ID, db.Tuple(idx).Loc); err == nil {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok)/float64(b.N), "success-rate")
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/lbs"
+)
+
+// CountBiasBound evaluates the Theorem-2 upper bound on the COUNT(*)
+// estimation bias of LNR-LBS-AGG:
+//
+//	|E(θ̂ − θ)| ≤ Σ_t (2·d(t)·ε − ε²) / (d(t) − ε)²,
+//
+// where d(t) is the distance from t to its nearest neighbor and ε is
+// the maximum edge error of the binary-search process. Tuples with
+// d(t) ≤ ε contribute an unbounded term; they are counted in
+// unbounded and excluded from the sum (shrinking ε below min d(t)
+// removes them, the knob the paper turns to make the bias arbitrarily
+// small).
+func CountBiasBound(nearest []float64, eps float64) (bound float64, unbounded int) {
+	for _, d := range nearest {
+		if d <= eps {
+			unbounded++
+			continue
+		}
+		bound += (2*d*eps - eps*eps) / ((d - eps) * (d - eps))
+	}
+	return bound, unbounded
+}
+
+// NearestNeighborDists computes d(t) for every tuple of a database —
+// the ground-truth ingredient of the Theorem-2 bound (evaluation use
+// only: a real client cannot compute it without the hidden data).
+func NearestNeighborDists(db *lbs.Database) []float64 {
+	pts := make([]geom.Point, db.Len())
+	for i := range pts {
+		pts[i] = db.Tuple(i).Loc
+	}
+	tree := kdtree.Build(pts)
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		nb := tree.KNN(p, 2, nil)
+		if len(nb) < 2 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = nb[1].Dist
+	}
+	return out
+}
+
+// VolumeRatioBound evaluates the Corollary-2 sandwich on the inferred
+// cell volume: ((d−ε)/d)² ≤ |V′|/|V| ≤ 1, returning the lower ratio
+// (0 when d ≤ ε).
+func VolumeRatioBound(d, eps float64) float64 {
+	if d <= eps {
+		return 0
+	}
+	r := (d - eps) / d
+	return r * r
+}

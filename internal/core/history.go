@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/cell"
+	"repro/internal/geom"
+)
+
+// History accumulates every tuple location an LR estimation run has
+// observed, across all queries of all samples. Because the hidden
+// database is static, past observations stay valid, and the history
+// lets later Voronoi-cell computations start from a much tighter
+// initial bounding region (the "leveraging history" device, §3.2.2)
+// and provides the λ_h upper bounds for the adaptive top-h choice
+// (§3.2.3) at zero query cost.
+type History struct {
+	locs  map[int64]geom.Point
+	sites []cell.Site // cached slice view, rebuilt lazily
+	dirty bool
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{locs: make(map[int64]geom.Point)}
+}
+
+// Observe records a tuple sighting and reports whether it was new.
+func (h *History) Observe(id int64, loc geom.Point) bool {
+	if _, ok := h.locs[id]; ok {
+		return false
+	}
+	h.locs[id] = loc
+	h.dirty = true
+	return true
+}
+
+// Len returns the number of distinct tuples seen.
+func (h *History) Len() int { return len(h.locs) }
+
+// Loc returns the recorded location of a tuple.
+func (h *History) Loc(id int64) (geom.Point, bool) {
+	p, ok := h.locs[id]
+	return p, ok
+}
+
+// Sites returns all observed tuples except the one with excludeID, as
+// cell sites ready for insertion. The underlying slice is cached and
+// shared between calls; callers must not retain it across Observe
+// calls.
+func (h *History) Sites(excludeID int64) []cell.Site {
+	if h.dirty {
+		h.sites = h.sites[:0]
+		for id, loc := range h.locs {
+			h.sites = append(h.sites, cell.Site{Key: id, Loc: loc})
+		}
+		h.dirty = false
+	}
+	out := make([]cell.Site, 0, len(h.sites))
+	for _, s := range h.sites {
+		if s.Key != excludeID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CountCloser returns how many observed tuples are strictly closer to
+// p than target is — used by the lower-bound skip test of §3.2.4 to
+// decide membership in the top-h cell without a query, once disk
+// coverage guarantees all relevant tuples have been observed.
+func (h *History) CountCloser(p geom.Point, target geom.Point, excludeID int64) int {
+	dt := p.Dist2(target)
+	n := 0
+	for id, loc := range h.locs {
+		if id == excludeID {
+			continue
+		}
+		if p.Dist2(loc) < dt {
+			n++
+		}
+	}
+	return n
+}

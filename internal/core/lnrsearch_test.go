@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPredicateSearchBracket(t *testing.T) {
+	// Predicate: left of the vertical line x = 3.7.
+	pred := func(p geom.Point) (bool, error) { return p.X < 3.7, nil }
+	a, b := geom.Pt(0, 0), geom.Pt(10, 0)
+	c3, c4, err := predicateSearch(a, b, 1e-6, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Dist(c4) > 1e-6 {
+		t.Fatalf("bracket too wide: %v", c3.Dist(c4))
+	}
+	if c3.X >= 3.7 || c4.X < 3.7 {
+		t.Fatalf("bracket missed the boundary: %v %v", c3, c4)
+	}
+	if math.Abs(c3.Mid(c4).X-3.7) > 1e-6 {
+		t.Fatalf("midpoint off the boundary: %v", c3.Mid(c4))
+	}
+}
+
+func TestPredicateSearchErrorPropagation(t *testing.T) {
+	pred := func(p geom.Point) (bool, error) { return false, errTest }
+	if _, _, err := predicateSearch(geom.Pt(0, 0), geom.Pt(1, 0), 1e-3, pred); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+var errTest = errorString("test error")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// TestTwoPointLineRecoversBisector exercises the literal Algorithm-7
+// construction (kept as the reference implementation even though the
+// production path uses flip-point accumulation): given a membership
+// oracle for a half-plane, the derived line must approximate the
+// half-plane's boundary.
+func TestTwoPointLineRecoversBisector(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	params := newEdgeSearchParams(0.01, bounds)
+	tt := geom.Pt(30, 40)
+	other := geom.Pt(60, 70)
+	trueLine := geom.Bisector(tt, other)
+	pred := func(p geom.Point) (bool, error) { return p.Dist2(tt) <= p.Dist2(other), nil }
+	anchor := tt
+	// Primary bracket along +x.
+	exit, _ := geom.RayRectExit(anchor, geom.Pt(1, 1), bounds)
+	c3, c4, err := predicateSearch(anchor, exit, params.deltaCoarse, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := twoPointLine(anchor, c3, c4, params, bounds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derived line must be nearly parallel to the true bisector and
+	// close to it at the bracket point.
+	dot := math.Abs(line.Normal().Dot(trueLine.Normal()))
+	if dot < 0.9999 {
+		t.Errorf("direction off: |cos| = %v", dot)
+	}
+	if d := trueLine.Dist(c3.Mid(c4)); d > 0.01 {
+		t.Errorf("bracket point off the bisector: %v", d)
+	}
+}
+
+func TestRefineBracketTightens(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	params := newEdgeSearchParams(0.5, bounds)
+	boundary := 42.0
+	pred := func(p geom.Point) (bool, error) { return p.X < boundary, nil }
+	anchor := geom.Pt(0, 0)
+	c3, c4, err := predicateSearch(anchor, geom.Pt(100, 0), params.deltaCoarse, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, r4, deltaFine, err := refineBracket(anchor, c3, c4, params, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Dist(r4) > deltaFine+1e-12 {
+		t.Errorf("refined bracket wider than fine delta: %v > %v", r3.Dist(r4), deltaFine)
+	}
+	if deltaFine > params.deltaCoarse {
+		t.Errorf("fine delta exceeds coarse: %v", deltaFine)
+	}
+	if math.Abs(r3.Mid(r4).X-boundary) > deltaFine {
+		t.Errorf("refined bracket off boundary")
+	}
+}
+
+func TestFineDeltaMonotonicity(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	p := newEdgeSearchParams(0.2, bounds)
+	prev := math.Inf(1)
+	for _, r := range []float64{0.1, 1, 10, 100} {
+		d := p.fineDelta(r)
+		if d > prev+1e-15 {
+			t.Errorf("fineDelta increased at r=%v", r)
+		}
+		if d <= 0 || d > p.deltaCoarse {
+			t.Errorf("fineDelta out of range at r=%v: %v", r, d)
+		}
+		prev = d
+	}
+}
+
+func TestAsinSafeClamps(t *testing.T) {
+	if asinSafe(2) != math.Pi/2 || asinSafe(-2) != -math.Pi/2 {
+		t.Errorf("clamping broken")
+	}
+	if math.Abs(asinSafe(0.5)-math.Asin(0.5)) > 1e-15 {
+		t.Errorf("interior value wrong")
+	}
+}

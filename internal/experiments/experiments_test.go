@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyCfg is the smallest configuration that still exercises every
+// code path; experiment smoke tests must stay fast.
+func tinyCfg() Config {
+	return Config{N: 120, Runs: 2, Budget: 2500, K: 3, Seed: 5}
+}
+
+func checkFigure(t *testing.T, fig *Figure, wantSeries int) {
+	t.Helper()
+	if fig == nil {
+		t.Fatal("nil figure")
+	}
+	if len(fig.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", fig.ID, len(fig.Series), wantSeries)
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("%s/%s: malformed series (%d, %d)", fig.ID, s.Name, len(s.X), len(s.Y))
+		}
+	}
+	var sb strings.Builder
+	if err := fig.Write(&sb); err != nil {
+		t.Fatalf("%s: write: %v", fig.ID, err)
+	}
+	if !strings.Contains(sb.String(), fig.ID) {
+		t.Errorf("%s: rendered table missing the figure id", fig.ID)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	fig, err := Fig11(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 1)
+	// Heavy-tail sanity: max must dominate the median.
+	y := fig.Series[0].Y
+	if y[5] <= y[1] {
+		t.Errorf("cell-size distribution not skewed: %v", y)
+	}
+}
+
+func TestFig12(t *testing.T) {
+	fig, err := Fig12(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+	// The LR-AGG trace must converge near the truth at the end.
+	truth := 120.0
+	lr := fig.Series[1]
+	last := lr.Y[len(lr.Y)-1]
+	if math.IsNaN(last) || math.Abs(last-truth)/truth > 0.5 {
+		t.Errorf("LR trace end %v far from truth %v", last, truth)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	fig, err := Fig13(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 4)
+}
+
+func TestFig14(t *testing.T) {
+	fig, err := Fig14(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+	// Shape check at a loose error level: AGG should not cost more
+	// than NNO (series 0 = NNO, 1 = LR-AGG).
+	nno, lr := fig.Series[0], fig.Series[1]
+	// x = 0.3 is index 3 on the default grid.
+	if !math.IsNaN(nno.Y[3]) && !math.IsNaN(lr.Y[3]) && lr.Y[3] > nno.Y[3]*2 {
+		t.Errorf("LR-AGG cost %v unexpectedly above NNO %v at rel-error 0.3", lr.Y[3], nno.Y[3])
+	}
+}
+
+func TestFig15(t *testing.T) {
+	fig, err := Fig15(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+}
+
+func TestFig16(t *testing.T) {
+	fig, err := Fig16(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+}
+
+func TestFig17(t *testing.T) {
+	fig, err := Fig17(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+}
+
+func TestFig18(t *testing.T) {
+	fig, err := Fig18(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+	// Flat-ish scaling: cost at 100 % must stay within an order of
+	// magnitude of cost at 25 % for LR-AGG (series index 1).
+	lr := fig.Series[1]
+	if lr.Y[3] > lr.Y[0]*10 {
+		t.Errorf("query cost exploded with database size: %v", lr.Y)
+	}
+}
+
+func TestFig19(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.K = 3
+	fig, err := Fig19(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+	if len(fig.Series[0].X) != cfg.K+1 {
+		t.Errorf("fig19 ticks: %v", fig.Series[0].X)
+	}
+}
+
+func TestFig20(t *testing.T) {
+	fig, err := Fig20(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 5)
+}
+
+func TestFig21(t *testing.T) {
+	fig, err := Fig21(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+	// Cumulative curves must be non-decreasing.
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if !math.IsNaN(s.Y[i]) && !math.IsNaN(s.Y[i-1]) && s.Y[i] < s.Y[i-1]-1e-12 {
+				t.Errorf("%s: cumulative fraction decreased at %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Budget = 6000
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("table1 rows: %d", len(rows))
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Google Places", "WeChat", "Weibo", "male fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+	// The flagship estimate (Starbucks count) should be within 50 % at
+	// tiny scale.
+	if rows[0].Truth <= 0 || rows[0].RelErr > 0.5 {
+		t.Errorf("starbucks row implausible: %+v", rows[0])
+	}
+}
+
+func TestTraceSetHelpers(t *testing.T) {
+	ts := &traceSet{
+		name:  "x",
+		truth: 100,
+		traces: [][]core.TracePoint{
+			{
+				{Queries: 10, Estimate: 300},
+				{Queries: 20, Estimate: 120},
+				{Queries: 30, Estimate: 105},
+				{Queries: 40, Estimate: 102},
+			},
+		},
+	}
+	costs := ts.costToReach(0.1)
+	if len(costs) != 1 || costs[0] != 30 {
+		t.Errorf("costToReach: %v", costs)
+	}
+	// 0.5 error reached at 20 queries.
+	if c := ts.costToReach(0.21); c[0] != 20 {
+		t.Errorf("costToReach(0.21): %v", c)
+	}
+	// Never converged: censored at final queries.
+	if c := ts.costToReach(0.001); c[0] != 40 {
+		t.Errorf("censored cost: %v", c)
+	}
+	s := ts.meanEstimateSeries([]float64{5, 25, 45})
+	if !math.IsNaN(s.Y[0]) || s.Y[1] != 120 || s.Y[2] != 102 {
+		t.Errorf("meanEstimateSeries: %v", s.Y)
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	p, q := Paper(), Quick()
+	if p.N <= q.N || p.Runs <= q.Runs || p.Budget <= q.Budget {
+		t.Errorf("paper scale should dominate quick scale: %+v %+v", p, q)
+	}
+}
+
+func TestMSEDecomposition(t *testing.T) {
+	rows, err := MSEDecomposition(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	var sb strings.Builder
+	WriteMSE(&sb, rows)
+	if !strings.Contains(sb.String(), "LR-LBS-AGG") {
+		t.Errorf("missing algorithm row")
+	}
+	for _, r := range rows {
+		if r.Eval.Runs != 2 || r.Eval.MeanQueries <= 0 {
+			t.Errorf("%s eval: %+v", r.Algorithm, r.Eval)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package geom
+
+import "math"
+
+// Polygon is a convex polygon stored as its vertices in counter-clockwise
+// order. The zero value (nil) represents the empty region.
+//
+// All polygon code in this package assumes convexity; the cell package
+// composes convex pieces into possibly-concave top-k Voronoi cells.
+type Polygon []Point
+
+// Area returns the (non-negative) area via the shoelace formula.
+func (poly Polygon) Area() float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	var s float64
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		s += p.Cross(q)
+	}
+	return math.Abs(s) / 2
+}
+
+// SignedArea returns the shoelace area, positive for counter-clockwise
+// orientation.
+func (poly Polygon) SignedArea() float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	var s float64
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		s += p.Cross(q)
+	}
+	return s / 2
+}
+
+// Centroid returns the area centroid of the polygon. For degenerate
+// polygons (< 3 vertices or ~zero area) it returns the vertex average.
+func (poly Polygon) Centroid() Point {
+	if len(poly) == 0 {
+		return Point{}
+	}
+	a := poly.SignedArea()
+	if math.Abs(a) < Eps {
+		var c Point
+		for _, p := range poly {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(len(poly)))
+	}
+	var cx, cy float64
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		w := p.Cross(q)
+		cx += (p.X + q.X) * w
+		cy += (p.Y + q.Y) * w
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}
+
+// Contains reports whether p lies inside the convex polygon (closed,
+// with Eps slack). Vertices must be in CCW order.
+func (poly Polygon) Contains(p Point) bool {
+	if len(poly) < 3 {
+		return false
+	}
+	for i, a := range poly {
+		b := poly[(i+1)%len(poly)]
+		if b.Sub(a).Cross(p.Sub(a)) < -Eps*(1+a.Dist(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clip returns the part of the polygon inside half-plane h
+// (Sutherland–Hodgman against a single edge). The result is nil when the
+// intersection is empty or degenerate (area below Eps).
+func (poly Polygon) Clip(h HalfPlane) Polygon {
+	inside, _ := poly.Split(h.Line)
+	return inside
+}
+
+// Split cuts the polygon by line l and returns the two convex pieces:
+// neg = part on the negative side of l (l.Eval ≤ 0) and pos = part on
+// the positive side. Either piece may be nil when (nearly) empty.
+// Degenerate slivers with area < Eps are discarded; their area is at
+// most Eps and is irrecoverably attributed to neither side, which the
+// estimation algorithms tolerate (the bounding regions involved have
+// areas many orders of magnitude above Eps).
+func (poly Polygon) Split(l Line) (neg, pos Polygon) {
+	n := len(poly)
+	if n < 3 {
+		return nil, nil
+	}
+	evals := make([]float64, n)
+	anyNeg, anyPos := false, false
+	for i, p := range poly {
+		evals[i] = l.Eval(p)
+		if evals[i] < -Eps {
+			anyNeg = true
+		} else if evals[i] > Eps {
+			anyPos = true
+		}
+	}
+	if !anyPos {
+		return poly, nil
+	}
+	if !anyNeg {
+		return nil, poly
+	}
+	neg = make(Polygon, 0, n+1)
+	pos = make(Polygon, 0, n+1)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a, b := poly[i], poly[j]
+		ea, eb := evals[i], evals[j]
+		switch {
+		case ea <= Eps && ea >= -Eps: // a on line: belongs to both
+			neg = append(neg, a)
+			pos = append(pos, a)
+		case ea < 0:
+			neg = append(neg, a)
+		default:
+			pos = append(pos, a)
+		}
+		// Crossing edge (strictly opposite signs)?
+		if (ea < -Eps && eb > Eps) || (ea > Eps && eb < -Eps) {
+			t := ea / (ea - eb)
+			x := a.Lerp(b, t)
+			neg = append(neg, x)
+			pos = append(pos, x)
+		}
+	}
+	neg = neg.dedupe()
+	pos = pos.dedupe()
+	if neg.Area() < Eps {
+		neg = nil
+	}
+	if pos.Area() < Eps {
+		pos = nil
+	}
+	return neg, pos
+}
+
+// dedupe removes consecutive (and wrap-around) duplicate vertices.
+func (poly Polygon) dedupe() Polygon {
+	if len(poly) == 0 {
+		return nil
+	}
+	out := poly[:0:0]
+	for _, p := range poly {
+		if len(out) == 0 || !out[len(out)-1].ApproxEq(p, Eps) {
+			out = append(out, p)
+		}
+	}
+	for len(out) > 1 && out[0].ApproxEq(out[len(out)-1], Eps) {
+		out = out[:len(out)-1]
+	}
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}
+
+// BoundingRect returns the axis-aligned bounding rectangle of the polygon.
+func (poly Polygon) BoundingRect() Rect { return BoundingRect(poly) }
+
+// MaxDistFrom returns the maximum Euclidean distance from p to any point
+// of the (convex) polygon; the maximum is attained at a vertex. Used for
+// pruning which bisectors can still affect a tentative Voronoi cell.
+func (poly Polygon) MaxDistFrom(p Point) float64 {
+	var m float64
+	for _, v := range poly {
+		if d := p.Dist(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Edges returns the polygon's edges as segments in CCW order.
+func (poly Polygon) Edges() []Segment {
+	if len(poly) < 2 {
+		return nil
+	}
+	out := make([]Segment, len(poly))
+	for i, p := range poly {
+		out[i] = Segment{A: p, B: poly[(i+1)%len(poly)]}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the polygon.
+func (poly Polygon) Clone() Polygon {
+	if poly == nil {
+		return nil
+	}
+	out := make(Polygon, len(poly))
+	copy(out, poly)
+	return out
+}
+
+// ConvexHull returns the convex hull of pts as a CCW polygon (Andrew's
+// monotone chain). Collinear interior points are dropped. It returns nil
+// for fewer than 3 effective points.
+func ConvexHull(pts []Point) Polygon {
+	if len(pts) < 3 {
+		return nil
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	// Sort by (X, Y) with insertion-free approach: use sort.Slice-like
+	// manual sort to avoid importing sort for two keys? Keep it simple.
+	sortPoints(sorted)
+	var lower, upper []Point
+	for _, p := range sorted {
+		for len(lower) >= 2 && lower[len(lower)-1].Sub(lower[len(lower)-2]).Cross(p.Sub(lower[len(lower)-2])) <= Eps {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		p := sorted[i]
+		for len(upper) >= 2 && upper[len(upper)-1].Sub(upper[len(upper)-2]).Cross(p.Sub(upper[len(upper)-2])) <= Eps {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		return nil
+	}
+	return Polygon(hull)
+}
+
+// sortPoints sorts lexicographically by (X, Y) using a simple in-place
+// heapless quicksort specialized to avoid reflection overhead.
+func sortPoints(pts []Point) {
+	if len(pts) < 2 {
+		return
+	}
+	// Insertion sort for small slices, quicksort otherwise.
+	if len(pts) <= 16 {
+		for i := 1; i < len(pts); i++ {
+			for j := i; j > 0 && pointLess(pts[j], pts[j-1]); j-- {
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+			}
+		}
+		return
+	}
+	pivot := pts[len(pts)/2]
+	left, right := 0, len(pts)-1
+	for left <= right {
+		for pointLess(pts[left], pivot) {
+			left++
+		}
+		for pointLess(pivot, pts[right]) {
+			right--
+		}
+		if left <= right {
+			pts[left], pts[right] = pts[right], pts[left]
+			left++
+			right--
+		}
+	}
+	sortPoints(pts[:right+1])
+	sortPoints(pts[left:])
+}
+
+func pointLess(a, b Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}

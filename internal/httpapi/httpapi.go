@@ -1,0 +1,286 @@
+// Package httpapi exposes a simulated LBS over HTTP and provides a
+// client that implements the estimators' Oracle interface — the
+// blueprint for running the algorithms against a real networked
+// service. Both sides use only net/http and encoding/json.
+//
+// Wire protocol (JSON over GET):
+//
+//	GET /v1/meta                      → {k, min_x, min_y, max_x, max_y}
+//	GET /v1/lr?x=..&y=..[&name=..][&category=..]   → {results: [...with locations]}
+//	GET /v1/lnr?x=..&y=..[&name=..][&category=..]  → {results: [...ids+attrs only]}
+//
+// Selection pass-through (§5.1) is declarative on the wire: name and
+// category equality filters ride along as query parameters. The
+// client is constructed with a fixed Selection; the per-call filter
+// argument of the Oracle interface must be nil (a functional filter
+// cannot cross the network).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+)
+
+// Selection is the declarative server-side filter of the wire
+// protocol: zero values match everything.
+type Selection struct {
+	Name     string
+	Category string
+}
+
+func (s Selection) filter() lbs.Filter {
+	if s.Name == "" && s.Category == "" {
+		return nil
+	}
+	return func(t *lbs.Tuple) bool {
+		return (s.Name == "" || t.Name == s.Name) &&
+			(s.Category == "" || t.Category == s.Category)
+	}
+}
+
+// wire types
+
+type metaResponse struct {
+	K    int     `json:"k"`
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+type wireRecord struct {
+	ID       int64              `json:"id"`
+	X        *float64           `json:"x,omitempty"`
+	Y        *float64           `json:"y,omitempty"`
+	Dist     *float64           `json:"dist,omitempty"`
+	Name     string             `json:"name,omitempty"`
+	Category string             `json:"category,omitempty"`
+	Attrs    map[string]float64 `json:"attrs,omitempty"`
+	Tags     map[string]string  `json:"tags,omitempty"`
+}
+
+type queryResponse struct {
+	Results []wireRecord `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server adapts a *lbs.Service into an http.Handler.
+type Server struct {
+	svc *lbs.Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps a service.
+func NewServer(svc *lbs.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/meta", s.handleMeta)
+	s.mux.HandleFunc("/v1/lr", s.handleLR)
+	s.mux.HandleFunc("/v1/lnr", s.handleLNR)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	b := s.svc.Bounds()
+	writeJSON(w, http.StatusOK, metaResponse{
+		K:    s.svc.K(),
+		MinX: b.Min.X, MinY: b.Min.Y, MaxX: b.Max.X, MaxY: b.Max.Y,
+	})
+}
+
+// parseQuery extracts the location and selection from the URL.
+func parseQuery(r *http.Request) (geom.Point, Selection, error) {
+	q := r.URL.Query()
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	if errX != nil || errY != nil {
+		return geom.Point{}, Selection{}, fmt.Errorf("invalid or missing x/y")
+	}
+	return geom.Pt(x, y), Selection{Name: q.Get("name"), Category: q.Get("category")}, nil
+}
+
+func (s *Server) handleLR(w http.ResponseWriter, r *http.Request) {
+	p, sel, err := parseQuery(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	recs, err := s.svc.QueryLR(p, sel.filter())
+	if err != nil {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	}
+	out := queryResponse{Results: make([]wireRecord, len(recs))}
+	for i, rec := range recs {
+		x, y, d := rec.Loc.X, rec.Loc.Y, rec.Dist
+		out.Results[i] = wireRecord{
+			ID: rec.ID, X: &x, Y: &y, Dist: &d,
+			Name: rec.Name, Category: rec.Category,
+			Attrs: rec.Attrs, Tags: rec.Tags,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLNR(w http.ResponseWriter, r *http.Request) {
+	p, sel, err := parseQuery(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	recs, err := s.svc.QueryLNR(p, sel.filter())
+	if err != nil {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	}
+	out := queryResponse{Results: make([]wireRecord, len(recs))}
+	for i, rec := range recs {
+		out.Results[i] = wireRecord{
+			ID: rec.ID, Name: rec.Name, Category: rec.Category,
+			Attrs: rec.Attrs, Tags: rec.Tags,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Client is an HTTP implementation of the estimators' Oracle
+// interface. It fetches the service metadata once at construction and
+// counts queries locally (mirroring how a real client tracks its own
+// quota consumption).
+type Client struct {
+	base    string
+	hc      *http.Client
+	sel     Selection
+	k       int
+	bounds  geom.Rect
+	queries atomic.Int64
+}
+
+// NewClient connects to a server at baseURL (e.g. the URL of an
+// httptest server or a deployed gateway). sel is the fixed declarative
+// selection sent with every query. httpClient may be nil for
+// http.DefaultClient.
+func NewClient(baseURL string, sel Selection, httpClient *http.Client) (*Client, error) {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	c := &Client{base: baseURL, hc: httpClient, sel: sel}
+	resp, err := httpClient.Get(baseURL + "/v1/meta")
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: meta: %w", err)
+	}
+	defer resp.Body.Close()
+	var meta metaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("httpapi: meta decode: %w", err)
+	}
+	c.k = meta.K
+	c.bounds = geom.NewRect(geom.Pt(meta.MinX, meta.MinY), geom.Pt(meta.MaxX, meta.MaxY))
+	return c, nil
+}
+
+// Bounds implements core.Oracle.
+func (c *Client) Bounds() geom.Rect { return c.bounds }
+
+// K implements core.Oracle.
+func (c *Client) K() int { return c.k }
+
+// QueryCount implements core.Oracle.
+func (c *Client) QueryCount() int64 { return c.queries.Load() }
+
+// get performs one wire query.
+func (c *Client) get(endpoint string, p geom.Point) (*queryResponse, error) {
+	v := url.Values{}
+	v.Set("x", strconv.FormatFloat(p.X, 'g', -1, 64))
+	v.Set("y", strconv.FormatFloat(p.Y, 'g', -1, 64))
+	if c.sel.Name != "" {
+		v.Set("name", c.sel.Name)
+	}
+	if c.sel.Category != "" {
+		v.Set("category", c.sel.Category)
+	}
+	resp, err := c.hc.Get(c.base + endpoint + "?" + v.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil, lbs.ErrBudgetExhausted
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("httpapi: status %d: %s", resp.StatusCode, e.Error)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("httpapi: decode: %w", err)
+	}
+	c.queries.Add(1)
+	return &out, nil
+}
+
+// QueryLR implements core.Oracle. filter must be nil: selections are
+// fixed per client (they travel as URL parameters; functional filters
+// cannot cross the network).
+func (c *Client) QueryLR(p geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
+	if filter != nil {
+		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
+	}
+	out, err := c.get("/v1/lr", p)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]lbs.LRRecord, len(out.Results))
+	for i, w := range out.Results {
+		rec := lbs.LRRecord{
+			ID: w.ID, Name: w.Name, Category: w.Category,
+			Attrs: w.Attrs, Tags: w.Tags,
+		}
+		if w.X != nil && w.Y != nil {
+			rec.Loc = geom.Pt(*w.X, *w.Y)
+		}
+		if w.Dist != nil {
+			rec.Dist = *w.Dist
+		}
+		recs[i] = rec
+	}
+	return recs, nil
+}
+
+// QueryLNR implements core.Oracle (same filter restriction as QueryLR).
+func (c *Client) QueryLNR(p geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error) {
+	if filter != nil {
+		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
+	}
+	out, err := c.get("/v1/lnr", p)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]lbs.LNRRecord, len(out.Results))
+	for i, w := range out.Results {
+		recs[i] = lbs.LNRRecord{
+			ID: w.ID, Name: w.Name, Category: w.Category,
+			Attrs: w.Attrs, Tags: w.Tags,
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,213 @@
+// Package kdtree provides a 2-D k-d tree used as the query engine of
+// the simulated location based services: exact k-nearest-neighbor
+// search with optional per-tuple filtering (for server-side selection
+// pass-through) and radius-bounded search (for the maximum-coverage
+// constraint of §5.3).
+//
+// The tree is built once over a static point set (LBS databases in the
+// paper are static) and is safe for concurrent readers.
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Tree is an immutable 2-D k-d tree over an indexed point set.
+type Tree struct {
+	pts   []geom.Point // original points, indexed by caller indices
+	nodes []node       // implicit tree in preorder
+}
+
+type node struct {
+	idx         int // index into pts
+	axis        uint8
+	left, right int32 // node slice offsets; −1 = none
+}
+
+// Build constructs a tree over pts. Indices reported by searches refer
+// to positions in pts. Build copies the slice header but not the
+// points; callers must not mutate pts afterwards.
+func Build(pts []geom.Point) *Tree {
+	t := &Tree{pts: pts}
+	if len(pts) == 0 {
+		return t
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = make([]node, 0, len(pts))
+	t.build(idx, 0)
+	return t
+}
+
+// build recursively partitions idx around the median along the given
+// axis and returns the node offset (−1 for empty).
+func (t *Tree) build(idx []int, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	mid := len(idx) / 2
+	// Median selection via full sort of the sub-slice; Build is a
+	// one-time O(n log² n) cost dwarfed by the experiments themselves.
+	if axis == 0 {
+		sort.Slice(idx, func(a, b int) bool { return t.pts[idx[a]].X < t.pts[idx[b]].X })
+	} else {
+		sort.Slice(idx, func(a, b int) bool { return t.pts[idx[a]].Y < t.pts[idx[b]].Y })
+	}
+	off := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{idx: idx[mid], axis: axis})
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[off].left = left
+	t.nodes[off].right = right
+	return off
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Point returns the point at index i.
+func (t *Tree) Point(i int) geom.Point { return t.pts[i] }
+
+// Neighbor is one search result: the point's index and its Euclidean
+// distance from the query.
+type Neighbor struct {
+	Index int
+	Dist  float64
+}
+
+// maxHeap over neighbor distances (root = farthest), for kNN pruning.
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// KNN returns up to k nearest neighbors of q among points accepted by
+// filter (nil filter accepts everything), ordered by increasing
+// distance. Ties are broken by index for determinism.
+func (t *Tree) KNN(q geom.Point, k int, filter func(int) bool) []Neighbor {
+	return t.KNNWithin(q, k, math.Inf(1), filter)
+}
+
+// KNNWithin behaves like KNN but only considers points within maxDist
+// of q (the paper's maximum-coverage constraint dmax).
+func (t *Tree) KNNWithin(q geom.Point, k int, maxDist float64, filter func(int) bool) []Neighbor {
+	if k <= 0 || len(t.nodes) == 0 {
+		return nil
+	}
+	h := make(maxHeap, 0, k+1)
+	t.knn(0, q, k, maxDist*maxDist, filter, &h)
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+func (t *Tree) knn(off int32, q geom.Point, k int, maxDist2 float64, filter func(int) bool, h *maxHeap) {
+	if off < 0 {
+		return
+	}
+	n := &t.nodes[off]
+	p := t.pts[n.idx]
+	d2 := q.Dist2(p)
+	if d2 <= maxDist2 && (filter == nil || filter(n.idx)) {
+		if h.Len() < k {
+			heap.Push(h, Neighbor{Index: n.idx, Dist: math.Sqrt(d2)})
+		} else if d := math.Sqrt(d2); d < (*h)[0].Dist {
+			(*h)[0] = Neighbor{Index: n.idx, Dist: d}
+			heap.Fix(h, 0)
+		}
+	}
+	var qc, pc float64
+	if n.axis == 0 {
+		qc, pc = q.X, p.X
+	} else {
+		qc, pc = q.Y, p.Y
+	}
+	near, far := n.left, n.right
+	if qc > pc {
+		near, far = far, near
+	}
+	t.knn(near, q, k, maxDist2, filter, h)
+	// Visit the far side only if the splitting plane is closer than the
+	// current k-th distance (or the heap is not yet full).
+	planeDist := qc - pc
+	planeDist2 := planeDist * planeDist
+	if planeDist2 <= maxDist2 && (h.Len() < k || planeDist2 < (*h)[0].Dist*(*h)[0].Dist) {
+		t.knn(far, q, k, maxDist2, filter, h)
+	}
+}
+
+// WithinRadius returns all points within radius r of q accepted by
+// filter, ordered by increasing distance.
+func (t *Tree) WithinRadius(q geom.Point, r float64, filter func(int) bool) []Neighbor {
+	if len(t.nodes) == 0 || r < 0 {
+		return nil
+	}
+	var out []Neighbor
+	t.within(0, q, r*r, filter, &out)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+func (t *Tree) within(off int32, q geom.Point, r2 float64, filter func(int) bool, out *[]Neighbor) {
+	if off < 0 {
+		return
+	}
+	n := &t.nodes[off]
+	p := t.pts[n.idx]
+	if d2 := q.Dist2(p); d2 <= r2 && (filter == nil || filter(n.idx)) {
+		*out = append(*out, Neighbor{Index: n.idx, Dist: math.Sqrt(d2)})
+	}
+	var qc, pc float64
+	if n.axis == 0 {
+		qc, pc = q.X, p.X
+	} else {
+		qc, pc = q.Y, p.Y
+	}
+	near, far := n.left, n.right
+	if qc > pc {
+		near, far = far, near
+	}
+	t.within(near, q, r2, filter, out)
+	planeDist := qc - pc
+	if planeDist*planeDist <= r2 {
+		t.within(far, q, r2, filter, out)
+	}
+}
+
+// NearestDist returns the distance from q to its nearest indexed point,
+// or +Inf when the tree is empty. Used by workload analysis and the
+// Theorem-2 bias bound (which needs inter-tuple nearest distances).
+func (t *Tree) NearestDist(q geom.Point, filter func(int) bool) float64 {
+	nb := t.KNN(q, 1, filter)
+	if len(nb) == 0 {
+		return math.Inf(1)
+	}
+	return nb[0].Dist
+}

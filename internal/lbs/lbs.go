@@ -1,0 +1,486 @@
+// Package lbs simulates the location based services of the paper: a
+// hidden database of located tuples reachable only through a
+// restrictive kNN interface.
+//
+// Two interface views are provided over the same service:
+//
+//   - LR ("location returned"): QueryLR returns the top-k tuples with
+//     their locations and attributes — the Google Maps / Bing Maps
+//     model (§2.1).
+//   - LNR ("location not returned"): QueryLNR returns only a ranked
+//     list of tuple IDs and non-location attributes — the WeChat /
+//     Sina Weibo model.
+//
+// The service also implements the real-world interface limitations the
+// paper discusses: the top-k cap, a maximum coverage radius (queries
+// with no tuple within dmax return empty, §5.3), a hard query budget
+// standing in for API rate limits (§2.1), server-side selection
+// pass-through (§5.1), optional location obfuscation (the WeChat
+// behaviour observed in Figure 21), and an optional "prominence"
+// ranking that mixes distance with a static popularity score (§5.3).
+//
+// The paper substitutes: the real services are replaced by this
+// in-process simulator exposing exactly the same interface contract,
+// so the estimation algorithms exercise the same code paths while the
+// ground truth stays known.
+package lbs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// ErrBudgetExhausted is returned by queries once the configured query
+// budget has been spent. Estimation drivers treat it as the signal to
+// stop sampling and report.
+var ErrBudgetExhausted = errors.New("lbs: query budget exhausted")
+
+// Tuple is one hidden-database row: a located entity (POI or user)
+// with its non-location attributes.
+type Tuple struct {
+	// ID is the stable public identifier (what an LNR interface leaks).
+	ID int64
+	// Loc is the true location.
+	Loc geom.Point
+	// Name and Category model the searchable attributes of map
+	// services (e.g. Name="Starbucks", Category="restaurant").
+	Name     string
+	Category string
+	// Attrs holds numeric attributes (rating, enrollment, review
+	// count, prominence, ...).
+	Attrs map[string]float64
+	// Tags holds categorical attributes (gender, open_sunday, ...).
+	Tags map[string]string
+}
+
+// Attr returns the named numeric attribute, or 0 when absent.
+func (t *Tuple) Attr(name string) float64 {
+	if t.Attrs == nil {
+		return 0
+	}
+	return t.Attrs[name]
+}
+
+// Tag returns the named categorical attribute, or "" when absent.
+func (t *Tuple) Tag(name string) string {
+	if t.Tags == nil {
+		return ""
+	}
+	return t.Tags[name]
+}
+
+// Database is an immutable collection of tuples within a bounding box,
+// indexed for kNN search on the tuples' effective (possibly
+// obfuscated) locations.
+type Database struct {
+	bounds geom.Rect
+	tuples []Tuple
+	// effective per-tuple location used for ranking; equals the true
+	// location unless obfuscation was applied.
+	effective []geom.Point
+	tree      *kdtree.Tree
+	byID      map[int64]int
+}
+
+// Obfuscation describes how a service distorts the locations it ranks
+// by, as location-based social networks do to protect user privacy.
+// The effective location is the true location snapped to a grid of
+// pitch GridSize (0 = no snapping) and then jittered uniformly in a
+// disk of radius Jitter (0 = no jitter), deterministically per tuple
+// given Seed.
+type Obfuscation struct {
+	GridSize float64
+	Jitter   float64
+	Seed     int64
+}
+
+func (o Obfuscation) enabled() bool { return o.GridSize > 0 || o.Jitter > 0 }
+
+// apply returns the effective location for a tuple.
+func (o Obfuscation) apply(rng *rand.Rand, p geom.Point) geom.Point {
+	out := p
+	if o.GridSize > 0 {
+		out.X = (math.Floor(out.X/o.GridSize) + 0.5) * o.GridSize
+		out.Y = (math.Floor(out.Y/o.GridSize) + 0.5) * o.GridSize
+	}
+	if o.Jitter > 0 {
+		ang := rng.Float64() * 2 * math.Pi
+		r := o.Jitter * math.Sqrt(rng.Float64())
+		out.X += r * math.Cos(ang)
+		out.Y += r * math.Sin(ang)
+	}
+	return out
+}
+
+// NewDatabase builds a database over the given tuples with no
+// obfuscation. Tuples outside bounds are accepted but make the
+// estimators' bounding region assumption invalid; workloads always
+// generate within bounds.
+func NewDatabase(bounds geom.Rect, tuples []Tuple) *Database {
+	return NewObfuscatedDatabase(bounds, tuples, Obfuscation{})
+}
+
+// NewObfuscatedDatabase builds a database whose ranking locations are
+// distorted by obf. The true locations remain stored for ground-truth
+// evaluation (Figure 21 measures the distance between true and
+// inferred positions).
+func NewObfuscatedDatabase(bounds geom.Rect, tuples []Tuple, obf Obfuscation) *Database {
+	db := &Database{
+		bounds:    bounds,
+		tuples:    tuples,
+		effective: make([]geom.Point, len(tuples)),
+		byID:      make(map[int64]int, len(tuples)),
+	}
+	rng := rand.New(rand.NewSource(obf.Seed))
+	for i := range tuples {
+		if obf.enabled() {
+			db.effective[i] = bounds.Clamp(obf.apply(rng, tuples[i].Loc))
+		} else {
+			db.effective[i] = tuples[i].Loc
+		}
+		if _, dup := db.byID[tuples[i].ID]; dup {
+			panic(fmt.Sprintf("lbs: duplicate tuple ID %d", tuples[i].ID))
+		}
+		db.byID[tuples[i].ID] = i
+	}
+	db.tree = kdtree.Build(db.effective)
+	return db
+}
+
+// Len returns the number of tuples.
+func (db *Database) Len() int { return len(db.tuples) }
+
+// Bounds returns the bounding box of the service's coverage region.
+func (db *Database) Bounds() geom.Rect { return db.bounds }
+
+// Tuple returns the i-th tuple (ground-truth access for evaluation
+// only; the estimators never touch it).
+func (db *Database) Tuple(i int) *Tuple { return &db.tuples[i] }
+
+// ByID returns the tuple with the given public ID.
+func (db *Database) ByID(id int64) (*Tuple, bool) {
+	i, ok := db.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return &db.tuples[i], true
+}
+
+// EffectiveLoc returns the ranking location of the i-th tuple
+// (ground-truth access for evaluation).
+func (db *Database) EffectiveLoc(i int) geom.Point { return db.effective[i] }
+
+// Subsample returns a database over a uniformly random fraction of the
+// tuples (the database-size sweep of Figure 18). frac is clamped to
+// (0, 1]; the subsample is deterministic in seed.
+func (db *Database) Subsample(frac float64, seed int64) *Database {
+	if frac >= 1 {
+		return db
+	}
+	if frac <= 0 {
+		frac = 1e-9
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(db.tuples))
+	n := int(math.Round(frac * float64(len(db.tuples))))
+	if n < 1 {
+		n = 1
+	}
+	picked := make([]Tuple, 0, n)
+	for _, i := range perm[:n] {
+		picked = append(picked, db.tuples[i])
+	}
+	sort.Slice(picked, func(a, b int) bool { return picked[a].ID < picked[b].ID })
+	return NewDatabase(db.bounds, picked)
+}
+
+// GroundTruth evaluates an aggregate exactly over the database: the
+// sum of value(t) over tuples satisfying cond (nil = all). Evaluation
+// code uses it to compute relative errors.
+func (db *Database) GroundTruth(value func(*Tuple) float64, cond func(*Tuple) bool) float64 {
+	var s float64
+	for i := range db.tuples {
+		t := &db.tuples[i]
+		if cond == nil || cond(t) {
+			s += value(t)
+		}
+	}
+	return s
+}
+
+// Count returns the number of tuples satisfying cond (nil = all).
+func (db *Database) Count(cond func(*Tuple) bool) int {
+	n := 0
+	for i := range db.tuples {
+		if cond == nil || cond(&db.tuples[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// RankMode selects how the service orders results.
+type RankMode int
+
+const (
+	// RankByDistance is the standard kNN semantics (Euclidean
+	// distance to the effective location).
+	RankByDistance RankMode = iota
+	// RankByProminence mixes distance with a static popularity score,
+	// modelling the Google Places "prominence" ordering (§5.3): the
+	// rank key is dist − ProminenceWeight·Attrs[ProminenceAttr],
+	// evaluated over an over-fetched distance candidate set.
+	RankByProminence
+)
+
+// Options configures a Service view over a database.
+type Options struct {
+	// K is the number of results per query (the interface's top-k).
+	K int
+	// MaxRadius, when positive, caps how far returned tuples may be
+	// from the query point; queries with no tuple within the radius
+	// return an empty answer (the dmax constraint of §5.3).
+	MaxRadius float64
+	// Budget, when positive, is the total number of queries the
+	// service will answer before returning ErrBudgetExhausted. It
+	// models the per-user/IP rate limits of real services.
+	Budget int64
+	// Limiter, when set, meters queries through a virtual-clock rate
+	// limiter; the accumulated virtual waiting time is reported by
+	// VirtualWaited. Queries are never rejected by the limiter — they
+	// just "take longer", exactly as a polite client sleeping between
+	// calls would experience.
+	Limiter *RateLimiter
+	// Rank selects the ordering semantics.
+	Rank RankMode
+	// ProminenceAttr and ProminenceWeight parameterize
+	// RankByProminence.
+	ProminenceAttr   string
+	ProminenceWeight float64
+	// ProminenceOverfetch is the distance-candidate multiple used for
+	// prominence re-ranking (default 4 when zero).
+	ProminenceOverfetch int
+}
+
+// Service is a queryable kNN interface over a database. It is safe for
+// concurrent use.
+type Service struct {
+	db      *Database
+	opts    Options
+	queries atomic.Int64
+}
+
+// NewService creates a service view. K must be ≥ 1.
+func NewService(db *Database, opts Options) *Service {
+	if opts.K < 1 {
+		panic("lbs: Options.K must be ≥ 1")
+	}
+	if opts.ProminenceOverfetch <= 0 {
+		opts.ProminenceOverfetch = 4
+	}
+	return &Service{db: db, opts: opts}
+}
+
+// DB returns the underlying database (ground-truth access for
+// evaluation harnesses).
+func (s *Service) DB() *Database { return s.db }
+
+// Options returns the service configuration.
+func (s *Service) Options() Options { return s.opts }
+
+// K returns the interface's top-k.
+func (s *Service) K() int { return s.opts.K }
+
+// Bounds returns the coverage bounding box.
+func (s *Service) Bounds() geom.Rect { return s.db.bounds }
+
+// QueryCount returns the number of queries answered so far (the
+// paper's cost metric).
+func (s *Service) QueryCount() int64 { return s.queries.Load() }
+
+// ResetQueryCount zeroes the query counter (between experiment runs).
+func (s *Service) ResetQueryCount() { s.queries.Store(0) }
+
+// RemainingBudget returns how many queries may still be issued, or −1
+// for unlimited.
+func (s *Service) RemainingBudget() int64 {
+	if s.opts.Budget <= 0 {
+		return -1
+	}
+	rem := s.opts.Budget - s.queries.Load()
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// VirtualDuration converts the queries issued so far into the
+// wall-clock time a real service with the given per-hour rate limit
+// would have required — e.g. Sina Weibo's 150/hour (§2.1).
+func (s *Service) VirtualDuration(perHour int) time.Duration {
+	if perHour <= 0 {
+		return 0
+	}
+	return time.Duration(float64(s.QueryCount()) / float64(perHour) * float64(time.Hour))
+}
+
+// Filter is a server-side selection condition (pass-through, §5.1).
+// A nil Filter accepts every tuple.
+type Filter func(*Tuple) bool
+
+// CategoryFilter matches tuples of the given category.
+func CategoryFilter(category string) Filter {
+	return func(t *Tuple) bool { return t.Category == category }
+}
+
+// NameFilter matches tuples with the given name.
+func NameFilter(name string) Filter {
+	return func(t *Tuple) bool { return t.Name == name }
+}
+
+// charge consumes one unit of budget and meters the rate limiter.
+func (s *Service) charge() error {
+	n := s.queries.Add(1)
+	if s.opts.Budget > 0 && n > s.opts.Budget {
+		s.queries.Add(-1)
+		return ErrBudgetExhausted
+	}
+	if s.opts.Limiter != nil {
+		s.opts.Limiter.Take()
+	}
+	return nil
+}
+
+// VirtualWaited returns the total virtual time a rate-limited client
+// would have spent waiting (0 without a Limiter).
+func (s *Service) VirtualWaited() time.Duration {
+	if s.opts.Limiter == nil {
+		return 0
+	}
+	return s.opts.Limiter.VirtualElapsed()
+}
+
+// rawQuery runs the ranked search shared by both views. It returns
+// tuple indices in rank order.
+func (s *Service) rawQuery(q geom.Point, filter Filter) []int {
+	kf := func(i int) bool {
+		return filter == nil || filter(&s.db.tuples[i])
+	}
+	maxDist := math.Inf(1)
+	if s.opts.MaxRadius > 0 {
+		maxDist = s.opts.MaxRadius
+	}
+	switch s.opts.Rank {
+	case RankByProminence:
+		cand := s.db.tree.KNNWithin(q, s.opts.K*s.opts.ProminenceOverfetch, maxDist, kf)
+		type scored struct {
+			idx   int
+			score float64
+		}
+		sc := make([]scored, len(cand))
+		for i, nb := range cand {
+			t := &s.db.tuples[nb.Index]
+			sc[i] = scored{
+				idx:   nb.Index,
+				score: nb.Dist - s.opts.ProminenceWeight*t.Attr(s.opts.ProminenceAttr),
+			}
+		}
+		sort.Slice(sc, func(a, b int) bool {
+			if sc[a].score != sc[b].score {
+				return sc[a].score < sc[b].score
+			}
+			return sc[a].idx < sc[b].idx
+		})
+		n := len(sc)
+		if n > s.opts.K {
+			n = s.opts.K
+		}
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			out[i] = sc[i].idx
+		}
+		return out
+	default:
+		nbs := s.db.tree.KNNWithin(q, s.opts.K, maxDist, kf)
+		out := make([]int, len(nbs))
+		for i, nb := range nbs {
+			out[i] = nb.Index
+		}
+		return out
+	}
+}
+
+// LRRecord is one result row of the location-returned interface.
+type LRRecord struct {
+	ID       int64
+	Loc      geom.Point // the service's (effective) location for the tuple
+	Dist     float64    // distance from the query point to Loc
+	Name     string
+	Category string
+	Attrs    map[string]float64
+	Tags     map[string]string
+}
+
+// QueryLR answers a location-returned kNN query: the top-k tuples
+// nearest q (per the service's ranking), each with its location. An
+// empty non-nil slice means "no tuple within the coverage radius".
+func (s *Service) QueryLR(q geom.Point, filter Filter) ([]LRRecord, error) {
+	if err := s.charge(); err != nil {
+		return nil, err
+	}
+	idxs := s.rawQuery(q, filter)
+	out := make([]LRRecord, len(idxs))
+	for i, idx := range idxs {
+		t := &s.db.tuples[idx]
+		loc := s.db.effective[idx]
+		out[i] = LRRecord{
+			ID:       t.ID,
+			Loc:      loc,
+			Dist:     q.Dist(loc),
+			Name:     t.Name,
+			Category: t.Category,
+			Attrs:    t.Attrs,
+			Tags:     t.Tags,
+		}
+	}
+	return out, nil
+}
+
+// LNRRecord is one result row of the location-not-returned interface:
+// the rank order carries the only spatial information.
+type LNRRecord struct {
+	ID       int64
+	Name     string
+	Category string
+	Attrs    map[string]float64
+	Tags     map[string]string
+}
+
+// QueryLNR answers a rank-only kNN query (the WeChat / Sina Weibo
+// model): tuple IDs and non-location attributes in rank order.
+func (s *Service) QueryLNR(q geom.Point, filter Filter) ([]LNRRecord, error) {
+	if err := s.charge(); err != nil {
+		return nil, err
+	}
+	idxs := s.rawQuery(q, filter)
+	out := make([]LNRRecord, len(idxs))
+	for i, idx := range idxs {
+		t := &s.db.tuples[idx]
+		out[i] = LNRRecord{
+			ID:       t.ID,
+			Name:     t.Name,
+			Category: t.Category,
+			Attrs:    t.Attrs,
+			Tags:     t.Tags,
+		}
+	}
+	return out, nil
+}

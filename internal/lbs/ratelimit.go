@@ -1,0 +1,84 @@
+package lbs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RateLimiter simulates the per-user/IP query quotas of real services
+// (Google Maps: 10,000/day; Sina Weibo: 150/hour — §2.1) on a
+// *virtual* clock, so experiments can measure the wall-clock time a
+// real deployment would need without actually waiting.
+//
+// Each Take advances the virtual clock to the earliest instant the
+// next query becomes admissible under a sliding-window quota. The
+// virtual elapsed time is the paper's argument for why query count is
+// the metric that matters: even generous quotas make the interface,
+// not computation, the bottleneck.
+type RateLimiter struct {
+	mu      sync.Mutex
+	quota   int
+	window  time.Duration
+	virtual time.Duration   // current virtual time since start
+	issued  []time.Duration // virtual timestamps within the window
+	count   int             // total admissions
+}
+
+// NewRateLimiter builds a limiter allowing quota queries per window.
+func NewRateLimiter(quota int, window time.Duration) *RateLimiter {
+	if quota < 1 {
+		panic(fmt.Sprintf("lbs: rate limiter quota must be ≥ 1, got %d", quota))
+	}
+	if window <= 0 {
+		panic("lbs: rate limiter window must be positive")
+	}
+	return &RateLimiter{quota: quota, window: window}
+}
+
+// Take admits one query, advancing the virtual clock if the quota is
+// exhausted, and returns the time the caller virtually waited.
+func (r *RateLimiter) Take() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Drop timestamps that have left the window.
+	r.gc()
+	var waited time.Duration
+	if len(r.issued) >= r.quota {
+		// Wait (virtually) until the oldest in-window query expires.
+		release := r.issued[0] + r.window
+		if release > r.virtual {
+			waited = release - r.virtual
+			r.virtual = release
+		}
+		r.gc()
+	}
+	r.issued = append(r.issued, r.virtual)
+	r.count++
+	return waited
+}
+
+// gc removes expired timestamps; callers hold the lock.
+func (r *RateLimiter) gc() {
+	cut := 0
+	for cut < len(r.issued) && r.issued[cut]+r.window <= r.virtual {
+		cut++
+	}
+	if cut > 0 {
+		r.issued = append(r.issued[:0], r.issued[cut:]...)
+	}
+}
+
+// VirtualElapsed returns the total virtual time consumed so far.
+func (r *RateLimiter) VirtualElapsed() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.virtual
+}
+
+// Issued returns the total number of queries admitted.
+func (r *RateLimiter) Issued() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}

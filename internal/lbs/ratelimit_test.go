@@ -1,0 +1,118 @@
+package lbs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func TestRateLimiterWithinQuota(t *testing.T) {
+	rl := NewRateLimiter(10, time.Hour)
+	for i := 0; i < 10; i++ {
+		if w := rl.Take(); w != 0 {
+			t.Fatalf("query %d waited %v within quota", i, w)
+		}
+	}
+	if rl.VirtualElapsed() != 0 {
+		t.Errorf("virtual clock advanced within quota: %v", rl.VirtualElapsed())
+	}
+	if rl.Issued() != 10 {
+		t.Errorf("issued: %d", rl.Issued())
+	}
+}
+
+func TestRateLimiterBlocksAndReleases(t *testing.T) {
+	rl := NewRateLimiter(2, time.Hour)
+	rl.Take()
+	rl.Take()
+	// Third query must wait a full window (both slots taken at t=0).
+	if w := rl.Take(); w != time.Hour {
+		t.Fatalf("third query waited %v, want 1h", w)
+	}
+	if rl.VirtualElapsed() != time.Hour {
+		t.Errorf("virtual elapsed: %v", rl.VirtualElapsed())
+	}
+	// Fourth also waits until the second t=0 slot expires — same
+	// release instant, so no extra wait.
+	if w := rl.Take(); w != 0 {
+		t.Errorf("fourth query waited %v, want 0", w)
+	}
+}
+
+func TestRateLimiterSteadyState(t *testing.T) {
+	// Weibo's 150/hour: 1,500 queries must take ≈ 9 virtual hours
+	// (the first 150 are free; each subsequent window admits 150).
+	rl := NewRateLimiter(150, time.Hour)
+	for i := 0; i < 1500; i++ {
+		rl.Take()
+	}
+	if got := rl.VirtualElapsed(); got != 9*time.Hour {
+		t.Errorf("1500 queries at 150/h: %v, want 9h", got)
+	}
+	if rl.Issued() != 1500 {
+		t.Errorf("issued: %d", rl.Issued())
+	}
+}
+
+func TestRateLimiterValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRateLimiter(0, time.Hour) },
+		func() { NewRateLimiter(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid limiter did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRateLimiterConcurrent(t *testing.T) {
+	rl := NewRateLimiter(1000, time.Hour)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				rl.Take()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if rl.Issued() != 800 {
+		t.Errorf("concurrent issued: %d", rl.Issued())
+	}
+}
+
+func TestServiceWithLimiter(t *testing.T) {
+	db := NewDatabase(
+		geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10)),
+		[]Tuple{{ID: 1, Loc: geom.Pt(5, 5)}},
+	)
+	rl := NewRateLimiter(10, time.Hour)
+	svc := NewService(db, Options{K: 1, Limiter: rl})
+	for i := 0; i < 25; i++ {
+		if _, err := svc.QueryLR(geom.Pt(1, 1), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 25 queries at 10/hour: first 10 free, then two more windows open
+	// (10 at t=1h, 5 at t=2h).
+	if got := svc.VirtualWaited(); got != 2*time.Hour {
+		t.Errorf("virtual waited: %v, want 2h", got)
+	}
+	// Without a limiter the wait is zero.
+	svc2 := NewService(db, Options{K: 1})
+	if _, err := svc2.QueryLR(geom.Pt(1, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if svc2.VirtualWaited() != 0 {
+		t.Errorf("unlimited service waited")
+	}
+}

@@ -1,0 +1,130 @@
+// Package stats provides the multi-run statistical evaluation tools
+// behind the experiments: MSE decomposition into bias² + variance
+// (§2.3 of the paper), confidence-interval coverage checks, and
+// quantile summaries. The estimators themselves only need the
+// single-run accumulator in internal/core; this package is for
+// *evaluating* estimators against known ground truth.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RunOutcome is one independent estimation run against known truth.
+type RunOutcome struct {
+	Estimate float64
+	// CI95 is the half-width of the run's own 95 % confidence interval
+	// (0 when the run did not report one).
+	CI95 float64
+	// Queries spent by the run.
+	Queries int64
+}
+
+// Evaluation summarizes repeated runs of an estimator.
+type Evaluation struct {
+	Runs  int
+	Truth float64
+	// Mean of the run estimates.
+	Mean float64
+	// Bias = Mean − Truth; BiasRel = Bias/Truth.
+	Bias    float64
+	BiasRel float64
+	// Variance across runs (Bessel-corrected) and the resulting
+	// decomposition MSE = Bias² + Variance.
+	Variance float64
+	MSE      float64
+	RMSERel  float64
+	// Coverage is the fraction of runs whose reported 95 % CI covered
+	// the truth (should be ≈ 0.95 for honest error bars).
+	Coverage float64
+	// MeanQueries is the average query cost per run.
+	MeanQueries float64
+	// Quartiles of the run estimates.
+	Q25, Median, Q75 float64
+}
+
+// Evaluate summarizes outcomes against the ground truth. It panics on
+// an empty outcome set (an evaluation bug, not a runtime condition).
+func Evaluate(truth float64, outcomes []RunOutcome) Evaluation {
+	if len(outcomes) == 0 {
+		panic("stats: Evaluate with no outcomes")
+	}
+	n := float64(len(outcomes))
+	ev := Evaluation{Runs: len(outcomes), Truth: truth}
+	ests := make([]float64, len(outcomes))
+	var sum, qsum float64
+	covered := 0
+	withCI := 0
+	for i, o := range outcomes {
+		ests[i] = o.Estimate
+		sum += o.Estimate
+		qsum += float64(o.Queries)
+		if o.CI95 > 0 {
+			withCI++
+			if math.Abs(o.Estimate-truth) <= o.CI95 {
+				covered++
+			}
+		}
+	}
+	ev.Mean = sum / n
+	ev.Bias = ev.Mean - truth
+	if truth != 0 {
+		ev.BiasRel = ev.Bias / truth
+	}
+	var m2 float64
+	for _, e := range ests {
+		m2 += (e - ev.Mean) * (e - ev.Mean)
+	}
+	if len(outcomes) > 1 {
+		ev.Variance = m2 / (n - 1)
+	}
+	ev.MSE = ev.Bias*ev.Bias + ev.Variance
+	if truth != 0 {
+		ev.RMSERel = math.Sqrt(ev.MSE) / math.Abs(truth)
+	}
+	if withCI > 0 {
+		ev.Coverage = float64(covered) / float64(withCI)
+	} else {
+		ev.Coverage = math.NaN()
+	}
+	ev.MeanQueries = qsum / n
+	sort.Float64s(ests)
+	ev.Q25 = quantile(ests, 0.25)
+	ev.Median = quantile(ests, 0.5)
+	ev.Q75 = quantile(ests, 0.75)
+	return ev
+}
+
+// quantile returns the linear-interpolated p-quantile of sorted xs.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the evaluation as a one-line summary.
+func (e Evaluation) String() string {
+	return fmt.Sprintf(
+		"runs=%d mean=%.4g bias=%+.2f%% rmse=%.2f%% coverage=%.0f%% queries/run=%.0f",
+		e.Runs, e.Mean, 100*e.BiasRel, 100*e.RMSERel, 100*e.Coverage, e.MeanQueries)
+}
+
+// BiasSignificance returns the z-statistic of the bias estimate
+// (bias / stderr-of-mean); |z| beyond ~3 indicates a real bias rather
+// than run-to-run noise.
+func (e Evaluation) BiasSignificance() float64 {
+	if e.Runs < 2 || e.Variance == 0 {
+		return 0
+	}
+	return e.Bias / math.Sqrt(e.Variance/float64(e.Runs))
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateBasics(t *testing.T) {
+	outcomes := []RunOutcome{
+		{Estimate: 90, CI95: 15, Queries: 100},
+		{Estimate: 110, CI95: 15, Queries: 120},
+		{Estimate: 100, CI95: 5, Queries: 80},
+	}
+	ev := Evaluate(100, outcomes)
+	if ev.Runs != 3 {
+		t.Errorf("runs: %d", ev.Runs)
+	}
+	if ev.Mean != 100 {
+		t.Errorf("mean: %v", ev.Mean)
+	}
+	if ev.Bias != 0 || ev.BiasRel != 0 {
+		t.Errorf("bias: %v", ev.Bias)
+	}
+	if math.Abs(ev.Variance-100) > 1e-9 {
+		t.Errorf("variance: %v", ev.Variance)
+	}
+	if math.Abs(ev.MSE-100) > 1e-9 {
+		t.Errorf("mse: %v", ev.MSE)
+	}
+	if ev.Coverage != 1.0 {
+		t.Errorf("coverage: %v", ev.Coverage)
+	}
+	if math.Abs(ev.MeanQueries-100) > 1e-9 {
+		t.Errorf("queries: %v", ev.MeanQueries)
+	}
+	if ev.Median != 100 {
+		t.Errorf("median: %v", ev.Median)
+	}
+}
+
+func TestEvaluateCoveragePartial(t *testing.T) {
+	outcomes := []RunOutcome{
+		{Estimate: 90, CI95: 5},  // misses truth 100
+		{Estimate: 99, CI95: 5},  // covers
+		{Estimate: 120, CI95: 1}, // misses
+		{Estimate: 101, CI95: 2}, // covers
+	}
+	ev := Evaluate(100, outcomes)
+	if ev.Coverage != 0.5 {
+		t.Errorf("coverage: %v", ev.Coverage)
+	}
+}
+
+func TestEvaluateNoCI(t *testing.T) {
+	ev := Evaluate(10, []RunOutcome{{Estimate: 10}})
+	if !math.IsNaN(ev.Coverage) {
+		t.Errorf("coverage without CIs should be NaN: %v", ev.Coverage)
+	}
+}
+
+func TestEvaluateEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("empty evaluation did not panic")
+		}
+	}()
+	Evaluate(1, nil)
+}
+
+func TestMSEDecompositionProperty(t *testing.T) {
+	// Property: MSE computed directly (mean squared deviation from
+	// truth, with the n/(n−1) variance correction folded in) matches
+	// bias² + variance.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(40)
+		truth := rng.Float64()*100 + 1
+		outcomes := make([]RunOutcome, n)
+		for i := range outcomes {
+			outcomes[i] = RunOutcome{Estimate: truth * (1 + rng.NormFloat64()*0.3)}
+		}
+		ev := Evaluate(truth, outcomes)
+		if ev.MSE < 0 {
+			t.Fatalf("negative MSE")
+		}
+		want := ev.Bias*ev.Bias + ev.Variance
+		if math.Abs(ev.MSE-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("decomposition broken: %v vs %v", ev.MSE, want)
+		}
+		if ev.Q25 > ev.Median || ev.Median > ev.Q75 {
+			t.Fatalf("quartiles out of order")
+		}
+	}
+}
+
+func TestBiasSignificance(t *testing.T) {
+	// A large consistent offset must register as significant.
+	outcomes := make([]RunOutcome, 25)
+	rng := rand.New(rand.NewSource(3))
+	for i := range outcomes {
+		outcomes[i] = RunOutcome{Estimate: 120 + rng.NormFloat64()*5}
+	}
+	ev := Evaluate(100, outcomes)
+	if z := ev.BiasSignificance(); z < 10 {
+		t.Errorf("strong bias not significant: z=%v", z)
+	}
+	// Near-zero bias: small z.
+	for i := range outcomes {
+		outcomes[i] = RunOutcome{Estimate: 100 + rng.NormFloat64()*5}
+	}
+	ev = Evaluate(100, outcomes)
+	if z := math.Abs(ev.BiasSignificance()); z > 4 {
+		t.Errorf("no-bias z too large: %v", z)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ev := Evaluate(100, []RunOutcome{{Estimate: 95, CI95: 10, Queries: 50}, {Estimate: 105, CI95: 10, Queries: 60}})
+	s := ev.String()
+	for _, want := range []string{"runs=2", "bias=", "rmse=", "queries/run=55"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestQuantileEdge(t *testing.T) {
+	if q := quantile([]float64{7}, 0.9); q != 7 {
+		t.Errorf("single-element quantile: %v", q)
+	}
+	xs := []float64{1, 2, 3, 4}
+	if q := quantile(xs, 0); q != 1 {
+		t.Errorf("p=0: %v", q)
+	}
+	if q := quantile(xs, 1); q != 4 {
+		t.Errorf("p=1: %v", q)
+	}
+	if q := quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Errorf("median: %v", q)
+	}
+}

@@ -1,0 +1,199 @@
+// Package voronoi computes ground-truth (full-knowledge) Voronoi and
+// top-k Voronoi cells over an entire database. The estimators never
+// use this package — they only see the kNN interface — but the
+// evaluation does: for verifying inferred cells, for the cell-size
+// statistics behind Figure 11 (the Starbucks decomposition with cells
+// from under 1 km² to hundreds of thousands of km²), and for the SVG
+// rendering of the diagram.
+package voronoi
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/lbs"
+)
+
+// Diagram holds the top-k Voronoi cells of every tuple of a database.
+type Diagram struct {
+	Bounds geom.Rect
+	K      int
+	// Cells[i] is the top-k cell of the database's i-th tuple.
+	Cells []*cell.Complex
+	db    *lbs.Database
+}
+
+// Compute builds the exact top-k Voronoi diagram of a database. The
+// per-cell work uses a kd-tree to gather nearby sites in growing rings
+// until the distance-pruning rule guarantees completeness, so the cost
+// is near-linear for realistic (clustered) inputs.
+func Compute(db *lbs.Database, k int) *Diagram {
+	pts := make([]geom.Point, db.Len())
+	for i := range pts {
+		pts[i] = db.Tuple(i).Loc
+	}
+	tree := kdtree.Build(pts)
+	d := &Diagram{
+		Bounds: db.Bounds(),
+		K:      k,
+		Cells:  make([]*cell.Complex, db.Len()),
+		db:     db,
+	}
+	boundPoly := db.Bounds().Polygon()
+	for i := range pts {
+		d.Cells[i] = computeCell(boundPoly, tree, pts, i, k)
+	}
+	return d
+}
+
+// computeCell builds the exact top-k cell of site idx against all
+// other sites: neighbors are pulled in rings of doubling radius until
+// the ring radius exceeds twice the maximum distance from the site to
+// its tentative cell (beyond which no bisector can cut the region).
+func computeCell(bound geom.Polygon, tree *kdtree.Tree, pts []geom.Point, idx, k int) *cell.Complex {
+	target := pts[idx]
+	c := cell.New(bound, k)
+	radius := initialRadius(tree, target, idx, k)
+	seen := map[int]bool{idx: true}
+	for {
+		nbs := tree.WithinRadius(target, radius, func(j int) bool { return !seen[j] })
+		sites := make([]cell.Site, 0, len(nbs))
+		for _, nb := range nbs {
+			seen[nb.Index] = true
+			sites = append(sites, cell.Site{Key: int64(nb.Index), Loc: pts[nb.Index]})
+		}
+		cell.InsertSites(c, target, sites)
+		needed := 2 * c.MaxDistFrom(target)
+		if radius >= needed || radius >= 4*boundDiag(bound) {
+			return c
+		}
+		radius = math.Max(radius*2, needed)
+	}
+}
+
+func boundDiag(bound geom.Polygon) float64 {
+	r := bound.BoundingRect()
+	return r.Diagonal()
+}
+
+// initialRadius starts the ring search at roughly the k-th neighbor
+// distance, doubled.
+func initialRadius(tree *kdtree.Tree, target geom.Point, idx, k int) float64 {
+	nbs := tree.KNN(target, k+1, func(j int) bool { return j != idx })
+	if len(nbs) == 0 {
+		return math.Inf(1)
+	}
+	return 2 * nbs[len(nbs)-1].Dist * (1 + 1e-9)
+}
+
+// Areas returns the cell areas indexed like the database tuples.
+func (d *Diagram) Areas() []float64 {
+	out := make([]float64, len(d.Cells))
+	for i, c := range d.Cells {
+		out[i] = c.Area()
+	}
+	return out
+}
+
+// Stats summarizes a cell-size distribution.
+type Stats struct {
+	N                  int
+	Min, Max, Mean     float64
+	P50, P90, P99      float64
+	Gini               float64 // inequality of cell sizes (0 uniform, →1 skewed)
+	MaxOverMin         float64
+	TotalOverBoundArea float64 // should be ≈ k for a top-k diagram
+}
+
+// CellStats computes the distribution statistics of the diagram's cell
+// areas — the quantitative content of Figure 11.
+func (d *Diagram) CellStats() Stats {
+	areas := d.Areas()
+	return AreaStats(areas, d.Bounds.Area())
+}
+
+// AreaStats summarizes a set of areas against a reference total.
+func AreaStats(areas []float64, boundArea float64) Stats {
+	if len(areas) == 0 {
+		return Stats{}
+	}
+	sorted := append([]float64(nil), areas...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, a := range sorted {
+		sum += a
+	}
+	n := len(sorted)
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return sorted[i]
+	}
+	// Gini via the sorted-weights formula.
+	var cum float64
+	for i, a := range sorted {
+		cum += a * float64(2*(i+1)-n-1)
+	}
+	gini := 0.0
+	if sum > 0 {
+		gini = cum / (float64(n) * sum)
+	}
+	maxOverMin := math.Inf(1)
+	if sorted[0] > 0 {
+		maxOverMin = sorted[n-1] / sorted[0]
+	}
+	return Stats{
+		N:                  n,
+		Min:                sorted[0],
+		Max:                sorted[n-1],
+		Mean:               sum / float64(n),
+		P50:                q(0.50),
+		P90:                q(0.90),
+		P99:                q(0.99),
+		Gini:               gini,
+		MaxOverMin:         maxOverMin,
+		TotalOverBoundArea: sum / boundArea,
+	}
+}
+
+// WriteSVG renders the diagram (k=1 cells as polygons, sites as dots)
+// as a standalone SVG document — the Figure 11 picture.
+func (d *Diagram) WriteSVG(w io.Writer, widthPx int) error {
+	if widthPx <= 0 {
+		widthPx = 1200
+	}
+	sc := float64(widthPx) / d.Bounds.Width()
+	heightPx := int(d.Bounds.Height() * sc)
+	tx := func(p geom.Point) (float64, float64) {
+		return (p.X - d.Bounds.Min.X) * sc, float64(heightPx) - (p.Y-d.Bounds.Min.Y)*sc
+	}
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		widthPx, heightPx, widthPx, heightPx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", widthPx, heightPx)
+	for _, c := range d.Cells {
+		for _, f := range c.Faces() {
+			if len(f.Poly) < 3 {
+				continue
+			}
+			fmt.Fprint(w, `<polygon points="`)
+			for _, p := range f.Poly {
+				x, y := tx(p)
+				fmt.Fprintf(w, "%.2f,%.2f ", x, y)
+			}
+			fmt.Fprint(w, `" fill="none" stroke="#4477aa" stroke-width="0.6"/>`+"\n")
+		}
+	}
+	for i := 0; i < d.db.Len(); i++ {
+		x, y := tx(d.db.Tuple(i).Loc)
+		fmt.Fprintf(w, `<circle cx="%.2f" cy="%.2f" r="1.2" fill="#cc3311"/>`+"\n", x, y)
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,245 @@
+// Package lbsagg is the public API of this library: aggregate
+// estimation over location based services with restrictive kNN query
+// interfaces, reproducing "Aggregate Estimations over Location Based
+// Services" (Liu, Rahman, Thirumuruganathan, Zhang, Das; PVLDB 8(10),
+// 2015).
+//
+// # Overview
+//
+// A location based service hides a database of located tuples behind
+// a query interface that only answers "what are the k tuples nearest
+// this point?". This library estimates SUM/COUNT/AVG aggregates over
+// such hidden databases by querying that interface alone:
+//
+//   - NewLRAggregator — Algorithm LR-LBS-AGG, for interfaces that
+//     return tuple locations (Google-Maps-like). Completely unbiased;
+//     weights each sampled tuple by the exactly computed mass of its
+//     top-k Voronoi cell.
+//   - NewLNRAggregator — Algorithm LNR-LBS-AGG, for interfaces that
+//     return only a ranked list of tuple IDs (WeChat-like). Infers
+//     Voronoi cells from rank flips via binary search, with bias
+//     bounded by Theorem 2 and tunable via EdgeEps; can also infer a
+//     tuple's position to arbitrary precision (Localize).
+//   - NewNNOBaseline — the prior-art LR-LBS-NNO estimator (Dalvi et
+//     al., KDD 2011), provided as the evaluation baseline.
+//
+// Estimation drivers take Aggregate specs (Count, SumAttr, CountTag,
+// CountWhere, ...) and return Results with Bessel-corrected standard
+// errors, confidence intervals and full estimate-versus-cost traces.
+//
+// # Bring your own service
+//
+// The estimators run against the Service type, which this library
+// also implements as an in-process simulator (NewService over a
+// NewDatabase) faithful to real interface constraints: top-k caps,
+// maximum coverage radii, query budgets, server-side filters,
+// location obfuscation and prominence ranking. To target a real LBS,
+// implement a thin adapter that forwards QueryLR/QueryLNR to the
+// provider's API and construct the estimators over it.
+//
+// # Quick start
+//
+//	db := lbsagg.NewDatabase(bounds, tuples)
+//	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 10})
+//	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
+//	res, err := agg.Run([]lbsagg.Aggregate{lbsagg.Count()}, 0, 5000)
+//
+// See examples/ for complete programs and internal/experiments for
+// the reproduction of every figure and table of the paper.
+package lbsagg
+
+import (
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/httpapi"
+	"repro/internal/lbs"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+// Geometry primitives.
+type (
+	// Point is a location on the Euclidean plane.
+	Point = geom.Point
+	// Rect is an axis-aligned bounding rectangle.
+	Rect = geom.Rect
+)
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// NewRect constructs a Rect from two opposite corners.
+func NewRect(a, b Point) Rect { return geom.NewRect(a, b) }
+
+// Service-side types (the simulated LBS).
+type (
+	// Tuple is one hidden-database row.
+	Tuple = lbs.Tuple
+	// Database is an immutable indexed tuple collection.
+	Database = lbs.Database
+	// Service is a kNN query interface over a database.
+	Service = lbs.Service
+	// ServiceOptions configures a service view (top-k, coverage
+	// radius, budget, ranking, ...).
+	ServiceOptions = lbs.Options
+	// Obfuscation distorts the locations a service ranks by.
+	Obfuscation = lbs.Obfuscation
+	// Filter is a server-side selection condition (pass-through).
+	Filter = lbs.Filter
+	// LRRecord is a location-returned result row.
+	LRRecord = lbs.LRRecord
+	// LNRRecord is a rank-only result row.
+	LNRRecord = lbs.LNRRecord
+)
+
+// ErrBudgetExhausted is returned once a service's query budget is
+// spent.
+var ErrBudgetExhausted = lbs.ErrBudgetExhausted
+
+// NewDatabase builds a database over tuples within bounds.
+func NewDatabase(bounds Rect, tuples []Tuple) *Database {
+	return lbs.NewDatabase(bounds, tuples)
+}
+
+// NewObfuscatedDatabase builds a database whose ranking locations are
+// obfuscated (the WeChat model).
+func NewObfuscatedDatabase(bounds Rect, tuples []Tuple, obf Obfuscation) *Database {
+	return lbs.NewObfuscatedDatabase(bounds, tuples, obf)
+}
+
+// NewService creates a kNN service view over a database.
+func NewService(db *Database, opts ServiceOptions) *Service {
+	return lbs.NewService(db, opts)
+}
+
+// CategoryFilter matches tuples of a category; NameFilter matches a
+// name (server-side selection pass-through).
+func CategoryFilter(category string) Filter { return lbs.CategoryFilter(category) }
+
+// NameFilter matches tuples with the given name.
+func NameFilter(name string) Filter { return lbs.NameFilter(name) }
+
+// Oracle is the query surface estimators run against; *Service
+// implements it, and so does the HTTP client adapter.
+type Oracle = core.Oracle
+
+// HTTPSelection is the declarative server-side filter of the HTTP
+// wire protocol.
+type HTTPSelection = httpapi.Selection
+
+// NewHTTPServer exposes a simulated service over HTTP (see
+// cmd/lbsserve for a runnable server).
+func NewHTTPServer(svc *Service) http.Handler { return httpapi.NewServer(svc) }
+
+// NewHTTPClient connects to an HTTP-exposed service and returns an
+// Oracle the estimators can run against — the template for adapting
+// real provider APIs.
+func NewHTTPClient(baseURL string, sel HTTPSelection, hc *http.Client) (Oracle, error) {
+	return httpapi.NewClient(baseURL, sel, hc)
+}
+
+// Estimator types.
+type (
+	// Aggregate is a SUM/COUNT-style aggregate specification.
+	Aggregate = core.Aggregate
+	// Record is the estimator-visible view of a returned tuple.
+	Record = core.Record
+	// Result is an estimation outcome with error bars and trace.
+	Result = core.Result
+	// TracePoint is one point of the estimate-versus-cost trace.
+	TracePoint = core.TracePoint
+	// LROptions configures LR-LBS-AGG.
+	LROptions = core.LROptions
+	// LNROptions configures LNR-LBS-AGG.
+	LNROptions = core.LNROptions
+	// NNOOptions configures the LR-LBS-NNO baseline.
+	NNOOptions = core.NNOOptions
+	// LRAggregator is Algorithm LR-LBS-AGG.
+	LRAggregator = core.LRAggregator
+	// LNRAggregator is Algorithm LNR-LBS-AGG.
+	LNRAggregator = core.LNRAggregator
+	// NNOBaseline is Algorithm LR-LBS-NNO.
+	NNOBaseline = core.NNOBaseline
+)
+
+// NewLRAggregator builds the unbiased location-returned estimator
+// over any Oracle (the in-process simulator or a remote adapter).
+func NewLRAggregator(svc Oracle, opts LROptions) *LRAggregator {
+	return core.NewLRAggregator(svc, opts)
+}
+
+// DefaultLROptions enables all four error-reduction devices of §3.2.
+func DefaultLROptions(seed int64) LROptions { return core.DefaultLROptions(seed) }
+
+// NewLNRAggregator builds the rank-only estimator.
+func NewLNRAggregator(svc Oracle, opts LNROptions) *LNRAggregator {
+	return core.NewLNRAggregator(svc, opts)
+}
+
+// NewNNOBaseline builds the prior-art baseline estimator.
+func NewNNOBaseline(svc Oracle, opts NNOOptions) *NNOBaseline {
+	return core.NewNNOBaseline(svc, opts)
+}
+
+// Aggregate constructors.
+var (
+	// Count returns the COUNT(*) aggregate.
+	Count = core.Count
+	// CountWhere returns COUNT with a post-processed condition.
+	CountWhere = core.CountWhere
+	// CountTag returns COUNT of tuples whose tag matches.
+	CountTag = core.CountTag
+	// CountInRect returns COUNT of tuples inside a rectangle
+	// (location-based condition; triggers localization over LNR).
+	CountInRect = core.CountInRect
+	// SumAttr returns SUM(attr).
+	SumAttr = core.SumAttr
+	// SumAttrWhere returns SUM(attr) with a condition.
+	SumAttrWhere = core.SumAttrWhere
+	// RatioOf combines two results into an AVG-style ratio.
+	RatioOf = core.RatioOf
+)
+
+// Sampling distributions (§5.2 external knowledge).
+type (
+	// Sampler is a query-location distribution.
+	Sampler = sampling.Sampler
+	// UniformSampler samples uniformly over a rectangle.
+	UniformSampler = sampling.Uniform
+	// GridSampler is a piecewise-constant weighted density.
+	GridSampler = sampling.Grid
+)
+
+// NewUniformSampler returns the uniform distribution over rect.
+func NewUniformSampler(rect Rect) *UniformSampler { return sampling.NewUniform(rect) }
+
+// NewGridSampler builds a weighted grid sampler from row-major cell
+// weights.
+func NewGridSampler(rect Rect, w, h int, weights []float64) *GridSampler {
+	return sampling.NewGrid(rect, w, h, weights)
+}
+
+// GridFromPoints estimates a density grid from observed locations
+// (the census substitute).
+func GridFromPoints(rect Rect, w, h int, pts []Point, alpha float64) *GridSampler {
+	return sampling.GridFromPoints(rect, w, h, pts, alpha)
+}
+
+// Workload scenarios (synthetic stand-ins for the paper's datasets).
+type Scenario = workload.Scenario
+
+// Named scenario constructors.
+var (
+	// USASchools generates the schools-with-enrollment scenario.
+	USASchools = workload.USASchools
+	// USARestaurants generates the restaurants-with-ratings scenario.
+	USARestaurants = workload.USARestaurants
+	// StarbucksUS generates the Starbucks-among-POIs scenario.
+	StarbucksUS = workload.StarbucksUS
+	// WeChatChina generates the obfuscated social-network scenario.
+	WeChatChina = workload.WeChatChina
+	// WeiboChina generates the rank-only social-network scenario.
+	WeiboChina = workload.WeiboChina
+)

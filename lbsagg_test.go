@@ -1,0 +1,83 @@
+package lbsagg_test
+
+import (
+	"math"
+	"testing"
+
+	lbsagg "repro"
+)
+
+// TestFacadeQuickstart exercises the public API exactly as the README
+// quick start does.
+func TestFacadeQuickstart(t *testing.T) {
+	bounds := lbsagg.NewRect(lbsagg.Pt(0, 0), lbsagg.Pt(100, 100))
+	tuples := make([]lbsagg.Tuple, 50)
+	for i := range tuples {
+		tuples[i] = lbsagg.Tuple{
+			ID:    int64(i + 1),
+			Loc:   lbsagg.Pt(float64(3+(i*17)%94), float64(5+(i*31)%89)),
+			Attrs: map[string]float64{"v": float64(i % 7)},
+		}
+	}
+	db := lbsagg.NewDatabase(bounds, tuples)
+	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 5})
+	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
+	res, err := agg.Run([]lbsagg.Aggregate{lbsagg.Count(), lbsagg.SumAttr("v")}, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Estimate-50)/50 > 0.2 && math.Abs(res[0].Estimate-50) > 5*res[0].StdErr {
+		t.Errorf("facade COUNT: %+v", res[0])
+	}
+	avg := lbsagg.RatioOf(res[1], res[0])
+	if avg.Estimate <= 0 {
+		t.Errorf("facade AVG: %+v", avg)
+	}
+}
+
+// TestFacadeLNRAndScenarios covers the LNR path and the scenario
+// constructors through the facade.
+func TestFacadeLNRAndScenarios(t *testing.T) {
+	sc := lbsagg.WeiboChina(150, 7)
+	svc := lbsagg.NewService(sc.DB, lbsagg.ServiceOptions{K: 5})
+	agg := lbsagg.NewLNRAggregator(svc, lbsagg.LNROptions{Seed: 3})
+	res, err := agg.Run([]lbsagg.Aggregate{lbsagg.CountTag("gender", "m")}, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Queries == 0 || res[0].Samples != 40 {
+		t.Errorf("LNR run accounting: %+v", res[0])
+	}
+}
+
+// TestFacadeSamplers covers the sampler constructors.
+func TestFacadeSamplers(t *testing.T) {
+	r := lbsagg.NewRect(lbsagg.Pt(0, 0), lbsagg.Pt(10, 10))
+	u := lbsagg.NewUniformSampler(r)
+	if u.Density(lbsagg.Pt(5, 5)) != 0.01 {
+		t.Errorf("uniform density")
+	}
+	g := lbsagg.NewGridSampler(r, 2, 1, []float64{1, 3})
+	if g.Density(lbsagg.Pt(7, 5)) <= g.Density(lbsagg.Pt(2, 5)) {
+		t.Errorf("grid weights not respected")
+	}
+	pts := []lbsagg.Point{lbsagg.Pt(1, 1), lbsagg.Pt(2, 2)}
+	if lbsagg.GridFromPoints(r, 4, 4, pts, 1) == nil {
+		t.Errorf("GridFromPoints")
+	}
+}
+
+// TestFacadeFilters covers pass-through filters via the facade.
+func TestFacadeFilters(t *testing.T) {
+	sc := lbsagg.StarbucksUS(30, 100, 5)
+	svc := lbsagg.NewService(sc.DB, lbsagg.ServiceOptions{K: 3})
+	res, err := svc.QueryLR(lbsagg.Pt(2000, 1200), lbsagg.NameFilter("Starbucks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res {
+		if rec.Name != "Starbucks" {
+			t.Errorf("filter leak: %+v", rec)
+		}
+	}
+}
