@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all vet build test bench
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# bench runs the estimation-session benchmarks; the Parallelism pair
+# measures the wall-clock payoff of WithParallelism(8) over a
+# 1 ms-latency Oracle.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelism' -benchtime 3x .

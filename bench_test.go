@@ -7,11 +7,86 @@
 package lbsagg_test
 
 import (
+	"context"
 	"math"
+	"math/rand"
 	"testing"
+	"time"
 
+	lbsagg "repro"
 	"repro/internal/experiments"
 )
+
+// latencyOracle wraps an Oracle with a fixed per-query delay,
+// standing in for a remote LBS reached over the network (where the
+// paper's query-count metric turns into wall-clock time). The sleep
+// honors ctx so canceled runs abort in-flight queries.
+type latencyOracle struct {
+	lbsagg.Oracle
+	delay time.Duration
+}
+
+func (o latencyOracle) wait(ctx context.Context) error {
+	timer := time.NewTimer(o.delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (o latencyOracle) QueryLR(ctx context.Context, q lbsagg.Point, f lbsagg.Filter) ([]lbsagg.LRRecord, error) {
+	if err := o.wait(ctx); err != nil {
+		return nil, err
+	}
+	return o.Oracle.QueryLR(ctx, q, f)
+}
+
+func (o latencyOracle) QueryLNR(ctx context.Context, q lbsagg.Point, f lbsagg.Filter) ([]lbsagg.LNRRecord, error) {
+	if err := o.wait(ctx); err != nil {
+		return nil, err
+	}
+	return o.Oracle.QueryLNR(ctx, q, f)
+}
+
+// benchParallelism measures an LR estimation session of fixed sample
+// size against a 1 ms-latency Oracle at the given worker count. The
+// samples are i.i.d., so the parallel run computes the same estimator
+// — the wall-clock ratio between the two benchmarks is the payoff of
+// WithParallelism against a remote service.
+func benchParallelism(b *testing.B, workers int) {
+	bounds := lbsagg.NewRect(lbsagg.Pt(0, 0), lbsagg.Pt(100, 100))
+	rng := rand.New(rand.NewSource(5))
+	tuples := make([]lbsagg.Tuple, 300)
+	for i := range tuples {
+		tuples[i] = lbsagg.Tuple{
+			ID:  int64(i + 1),
+			Loc: lbsagg.Pt(rng.Float64()*100, rng.Float64()*100),
+		}
+	}
+	db := lbsagg.NewDatabase(bounds, tuples)
+	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 5})
+	oracle := latencyOracle{Oracle: svc, delay: time.Millisecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := lbsagg.NewLRAggregator(oracle, lbsagg.DefaultLROptions(int64(i+1)))
+		res, err := agg.Run(context.Background(), []lbsagg.Aggregate{lbsagg.Count()},
+			lbsagg.WithMaxSamples(32), lbsagg.WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res[0].Samples != 32 {
+			b.Fatalf("samples = %d", res[0].Samples)
+		}
+		b.ReportMetric(float64(res[0].Queries), "queries/op")
+	}
+}
+
+func BenchmarkParallelism1(b *testing.B) { benchParallelism(b, 1) }
+
+func BenchmarkParallelism8(b *testing.B) { benchParallelism(b, 8) }
 
 // benchCfg derives a per-benchmark configuration; b.N scales the
 // number of repetitions so the measured time per op stays meaningful.
@@ -32,7 +107,7 @@ func reportSeries(b *testing.B, fig interface {
 
 func BenchmarkFig11VoronoiDecomposition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig11(benchCfg(int64(i + 1)))
+		fig, err := experiments.Fig11(context.Background(), benchCfg(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +118,7 @@ func BenchmarkFig11VoronoiDecomposition(b *testing.B) {
 
 func BenchmarkFig12Unbiasedness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig12(benchCfg(int64(i + 1)))
+		fig, err := experiments.Fig12(context.Background(), benchCfg(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +131,7 @@ func BenchmarkFig12Unbiasedness(b *testing.B) {
 
 func BenchmarkFig13WeightedSampling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig13(benchCfg(int64(i + 1)))
+		fig, err := experiments.Fig13(context.Background(), benchCfg(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +145,7 @@ func BenchmarkFig13WeightedSampling(b *testing.B) {
 
 func BenchmarkFig14CountSchools(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig14(benchCfg(int64(i + 1)))
+		fig, err := experiments.Fig14(context.Background(), benchCfg(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +158,7 @@ func BenchmarkFig14CountSchools(b *testing.B) {
 
 func BenchmarkFig15CountRestaurants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig15(benchCfg(int64(i + 1))); err != nil {
+		if _, err := experiments.Fig15(context.Background(), benchCfg(int64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -91,7 +166,7 @@ func BenchmarkFig15CountRestaurants(b *testing.B) {
 
 func BenchmarkFig16SumEnrollment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig16(benchCfg(int64(i + 1))); err != nil {
+		if _, err := experiments.Fig16(context.Background(), benchCfg(int64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,7 +174,7 @@ func BenchmarkFig16SumEnrollment(b *testing.B) {
 
 func BenchmarkFig17AvgRatingAustin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig17(benchCfg(int64(i + 1))); err != nil {
+		if _, err := experiments.Fig17(context.Background(), benchCfg(int64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,7 +182,7 @@ func BenchmarkFig17AvgRatingAustin(b *testing.B) {
 
 func BenchmarkFig18DatabaseSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig18(benchCfg(int64(i + 1)))
+		fig, err := experiments.Fig18(context.Background(), benchCfg(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +198,7 @@ func BenchmarkFig19VaryK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(int64(i + 1))
 		cfg.K = 3 // keep the sweep small at bench scale
-		fig, err := experiments.Fig19(cfg)
+		fig, err := experiments.Fig19(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +213,7 @@ func BenchmarkFig19VaryK(b *testing.B) {
 
 func BenchmarkFig20Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig20(benchCfg(int64(i + 1)))
+		fig, err := experiments.Fig20(context.Background(), benchCfg(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +227,7 @@ func BenchmarkFig20Ablation(b *testing.B) {
 
 func BenchmarkFig21Localization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig21(benchCfg(int64(i + 1)))
+		fig, err := experiments.Fig21(context.Background(), benchCfg(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +240,7 @@ func BenchmarkTable1OnlineDemos(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(int64(i + 1))
 		cfg.Budget = 6000
-		rows, err := experiments.Table1(cfg)
+		rows, err := experiments.Table1(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

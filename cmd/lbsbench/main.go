@@ -14,16 +14,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
 	"repro/internal/experiments"
 )
 
-type runner func(experiments.Config) (*experiments.Figure, error)
+type runner func(context.Context, experiments.Config) (*experiments.Figure, error)
 
 func main() {
 	var (
@@ -36,6 +39,12 @@ func main() {
 		seed   = flag.Int64("seed", 0, "base seed override")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the context; in-flight estimation runs stop at
+	// the next sample boundary and the command exits promptly instead
+	// of grinding through the remaining experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var cfg experiments.Config
 	switch *scale {
@@ -87,32 +96,39 @@ func main() {
 		ids = append(ids, "table1", "mse")
 	}
 
+	// fail reports an experiment error uniformly: an interrupt exits
+	// 130 ("interrupted") regardless of which experiment was running.
+	fail := func(id string, err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+		os.Exit(1)
+	}
+
 	for _, id := range ids {
 		start := time.Now()
 		switch {
 		case id == "table1":
-			rows, err := experiments.Table1(cfg)
+			rows, err := experiments.Table1(ctx, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "table1: %v\n", err)
-				os.Exit(1)
+				fail(id, err)
 			}
 			experiments.WriteTable1(os.Stdout, rows)
 		case id == "mse":
-			rows, err := experiments.MSEDecomposition(cfg)
+			rows, err := experiments.MSEDecomposition(ctx, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mse: %v\n", err)
-				os.Exit(1)
+				fail(id, err)
 			}
 			experiments.WriteMSE(os.Stdout, rows)
 		case figures[id] != nil:
-			fig, err := figures[id](cfg)
+			fig, err := figures[id](ctx, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-				os.Exit(1)
+				fail(id, err)
 			}
 			if err := fig.Write(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-				os.Exit(1)
+				fail(id, err)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig11..fig21, table1, mse, all)\n", id)

@@ -9,10 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/httpapi"
 	"repro/internal/lbs"
@@ -51,5 +56,23 @@ func main() {
 		K: *k, Budget: *budget, MaxRadius: *radius,
 	})
 	fmt.Printf("serving %s (%d tuples, k=%d) on %s\n", sc.Name, sc.DB.Len(), *k, *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.NewServer(svc)))
+
+	// Serve until interrupted, then drain: in-flight queries see their
+	// request contexts canceled and the listener closes cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: httpapi.NewServer(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+		fmt.Printf("shut down after %d queries\n", svc.QueryCount())
+	}
 }

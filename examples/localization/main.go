@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,7 +31,7 @@ func run(name string, db *lbsagg.Database, bounds lbsagg.Rect, targets int) {
 		// Anchor at the service's notion of the user's position (a
 		// real attacker would walk a probe grid; one probe near the
 		// victim suffices for the demo).
-		got, err := agg.Localize(tp.ID, db.EffectiveLoc(i))
+		got, err := agg.Localize(context.Background(), tp.ID, db.EffectiveLoc(i))
 		if err != nil {
 			continue
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,10 +38,10 @@ func main() {
 	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 10, Budget: 5000})
 
 	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
-	results, err := agg.Run([]lbsagg.Aggregate{
+	results, err := agg.Run(context.Background(), []lbsagg.Aggregate{
 		lbsagg.Count(),
 		lbsagg.SumAttr("rating"),
-	}, 0, 0) // run until the budget is gone
+	}) // no run options: sample until the service budget is gone
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,11 @@ func main() {
 	opts.Sampler = sc.Grid                       // census-weighted sampling
 	agg := lbsagg.NewLRAggregator(svc, opts)
 
-	res, err := agg.Run([]lbsagg.Aggregate{lbsagg.Count()}, 0, 0)
+	// Samples are i.i.d., so WithParallelism fans the drawing out over
+	// independent estimator forks — against a real (latency-bound) API
+	// this is a near-linear wall-clock win.
+	res, err := agg.Run(context.Background(),
+		[]lbsagg.Aggregate{lbsagg.Count()}, lbsagg.WithParallelism(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,9 +66,9 @@ func main() {
 	opts2.Filter = lbsagg.NameFilter("Starbucks")
 	opts2.Sampler = sc.Grid
 	agg2 := lbsagg.NewLRAggregator(lbsagg.NewService(sc.DB, lbsagg.ServiceOptions{K: 20, Budget: 5000}), opts2)
-	res2, err := agg2.Run([]lbsagg.Aggregate{
+	res2, err := agg2.Run(context.Background(), []lbsagg.Aggregate{
 		lbsagg.CountWhere("rating>=4", func(r lbsagg.Record) bool { return r.Attr("rating") >= 4 }),
-	}, 0, 0)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,10 +37,10 @@ func main() {
 		Seed:    5,
 		Sampler: sc.Grid, // population-weighted query locations
 	})
-	res, err := agg.Run([]lbsagg.Aggregate{
+	res, err := agg.Run(context.Background(), []lbsagg.Aggregate{
 		lbsagg.Count(),
 		lbsagg.CountTag("gender", "m"),
-	}, 0, 0)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -31,12 +32,16 @@ import (
 // restrictive kNN interface of a location based service. The
 // in-process simulator (*lbs.Service) implements it; so can adapters
 // over real provider APIs (see internal/httpapi for an HTTP
-// implementation).
+// implementation). Every query takes a context so that remote
+// adapters can cancel in-flight requests and honor deadlines; the
+// in-process simulator merely checks ctx between queries.
+// Implementations must be safe for concurrent use (the Driver's
+// parallel mode issues queries from several goroutines).
 type Oracle interface {
 	// QueryLR answers a location-returned kNN query.
-	QueryLR(q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error)
+	QueryLR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error)
 	// QueryLNR answers a rank-only kNN query.
-	QueryLNR(q geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error)
+	QueryLNR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error)
 	// Bounds returns the coverage bounding box (the paper's region B).
 	Bounds() geom.Rect
 	// K returns the interface's top-k.
@@ -207,6 +212,25 @@ func (a *Accumulator) StdErr() float64 {
 // CI95 returns the half-width of the normal-approximation 95 %
 // confidence interval.
 func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Merge folds another accumulator's state into a, as if every sample
+// b saw had been Added to a (the pairwise update of Chan, Golub &
+// LeVeque). Sample order is immaterial for mean and M2, so parallel
+// drivers can merge per-worker accumulators without replaying values.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.n = n
+}
 
 // TracePoint is one point of the estimate-versus-cost trace (the
 // Figure 12 curves).

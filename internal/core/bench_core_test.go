@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/lbs"
@@ -14,12 +15,12 @@ func BenchmarkLRCellComputation(b *testing.B) {
 	svc := lbs.NewService(db, lbs.Options{K: 5})
 	agg := NewLRAggregator(svc, DefaultLROptions(1))
 	// Warm the history so the benchmark reflects steady state.
-	if _, err := agg.Run([]Aggregate{Count()}, 50, 0); err != nil {
+	if _, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(50)); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := agg.Step([]Aggregate{Count()}); err != nil {
+		if _, err := agg.Step(context.Background(), []Aggregate{Count()}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -34,7 +35,7 @@ func BenchmarkLNRCellInference(b *testing.B) {
 	agg := NewLNRAggregator(svc, LNROptions{Seed: 2})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := agg.Step([]Aggregate{Count()}); err != nil {
+		if _, err := agg.Step(context.Background(), []Aggregate{Count()}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +49,7 @@ func BenchmarkNNOSample(b *testing.B) {
 	nno := NewNNOBaseline(svc, NNOOptions{Seed: 3})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := nno.Step([]Aggregate{Count()}); err != nil {
+		if _, err := nno.Step(context.Background(), []Aggregate{Count()}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +65,7 @@ func BenchmarkLocalize(b *testing.B) {
 	ok := 0
 	for i := 0; i < b.N; i++ {
 		idx := i % db.Len()
-		if _, err := agg.Localize(db.Tuple(idx).ID, db.Tuple(idx).Loc); err == nil {
+		if _, err := agg.Localize(context.Background(), db.Tuple(idx).ID, db.Tuple(idx).Loc); err == nil {
 			ok++
 		}
 	}

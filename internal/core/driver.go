@@ -1,0 +1,359 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lbs"
+)
+
+// Estimator is a sample source: an estimation algorithm that can draw
+// one i.i.d. point sample and turn it into one unbiased per-sample
+// estimate for each aggregate. LRAggregator, LNRAggregator and
+// NNOBaseline all implement it; any future algorithm that does plugs
+// into the same Driver and gets budgets, traces, early stopping and
+// parallel execution for free.
+type Estimator interface {
+	// Step draws one random query location and returns one per-sample
+	// estimate per aggregate. Queries issued during the step must
+	// honor ctx.
+	Step(ctx context.Context, aggs []Aggregate) ([]float64, error)
+	// Service returns the Oracle the estimator queries, for cost
+	// accounting (the paper's metric is the Oracle's QueryCount).
+	Service() Oracle
+	// Fork returns an independent estimator of the same configuration
+	// over the same service, with its randomness re-seeded by seed.
+	// Forks share no mutable state with the receiver or each other, so
+	// a Driver may run them concurrently; the samples they draw stay
+	// i.i.d. from the same query distribution.
+	Fork(seed int64) Estimator
+}
+
+// All three algorithms of the paper plug into the Driver.
+var (
+	_ Estimator = (*LRAggregator)(nil)
+	_ Estimator = (*LNRAggregator)(nil)
+	_ Estimator = (*NNOBaseline)(nil)
+)
+
+// runConfig is the resolved option set of one Run call.
+type runConfig struct {
+	maxSamples  int
+	maxQueries  int64
+	targetCI    float64
+	progress    func([]TracePoint)
+	parallelism int
+}
+
+// RunOption configures an estimation run (see Driver.Run).
+type RunOption func(*runConfig)
+
+// WithMaxSamples stops the run after n completed point samples
+// (0 = unlimited).
+func WithMaxSamples(n int) RunOption {
+	return func(c *runConfig) { c.maxSamples = n }
+}
+
+// WithMaxQueries stops the run once the service has answered n queries
+// on behalf of this run (0 = unlimited). The limit is checked between
+// samples, so a run finishes samples in flight and may overshoot by
+// one sample's worth of queries — per worker: under WithParallelism(p)
+// the overshoot can reach p in-flight samples. Against a paid or
+// hard-capped remote API, enforce the cap on the service side
+// (ServiceOptions.Budget or the adapter) as well.
+func WithMaxQueries(n int64) RunOption {
+	return func(c *runConfig) { c.maxQueries = n }
+}
+
+// ciMinSamples is the number of samples required before the TargetCI
+// stopping rule is consulted; earlier the variance estimate is too
+// noisy to trust.
+const ciMinSamples = 16
+
+// WithTargetCI stops the run once every aggregate's 95 % confidence
+// half-width has fallen below rel × |estimate| (after a minimum of
+// ciMinSamples samples). rel ≤ 0 disables the rule.
+func WithTargetCI(rel float64) RunOption {
+	return func(c *runConfig) { c.targetCI = rel }
+}
+
+// WithProgress registers a streaming callback invoked after every
+// completed sample with one TracePoint per aggregate (index-aligned
+// with the aggs given to Run). The callback runs on the driver's
+// collector goroutine; it must not block for long and must not call
+// back into the run.
+func WithProgress(fn func(points []TracePoint)) RunOption {
+	return func(c *runConfig) { c.progress = fn }
+}
+
+// WithParallelism draws point samples from n concurrent workers, each
+// an independent Fork of the estimator, and merges their accumulator
+// states (the pairwise variance combination of Chan et al.). Samples
+// are i.i.d. and order-free, so the merged estimate has exactly the
+// same distribution as a serial run of equal size; with a remote
+// (latency-bound) Oracle the wall-clock time shrinks almost linearly
+// in n. n ≤ 1 means serial.
+func WithParallelism(n int) RunOption {
+	return func(c *runConfig) { c.parallelism = n }
+}
+
+// Driver executes an Estimator against its service: it repeatedly
+// draws samples, folds them into running accumulators, records the
+// estimate-versus-cost trace, and stops on whichever bound — sample
+// count, query budget, confidence target, service exhaustion or
+// context cancellation — triggers first.
+//
+// Cancellation is graceful: a context canceled mid-run behaves like an
+// exhausted budget, returning the Results of the samples completed so
+// far (an error is returned only when not even one sample finished).
+type Driver struct {
+	Est Estimator
+}
+
+// Run executes the estimation. See the package documentation for the
+// stopping rules; with no options it runs until the service refuses
+// further queries (lbs.ErrBudgetExhausted) or ctx is canceled.
+func (d *Driver) Run(ctx context.Context, aggs []Aggregate, opts ...RunOption) ([]Result, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("core: no aggregates given")
+	}
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.parallelism > 1 {
+		return d.runParallel(ctx, aggs, cfg)
+	}
+	return d.runSerial(ctx, aggs, cfg)
+}
+
+// Run is the convenience entry point the estimators' Run methods
+// delegate to: Run(ctx, est, aggs, opts...) ≡ (&Driver{Est: est}).Run.
+func Run(ctx context.Context, est Estimator, aggs []Aggregate, opts ...RunOption) ([]Result, error) {
+	return (&Driver{Est: est}).Run(ctx, aggs, opts...)
+}
+
+// stopErr reports whether err ends the run gracefully rather than
+// fatally: the service budget is spent, or the run's own context was
+// canceled. A context-flavored error while ctx is still live (e.g. a
+// per-request http.Client timeout) is a transport failure, not a
+// graceful stop — it must surface to the caller, or a flaky remote
+// would silently truncate runs.
+func stopErr(ctx context.Context, err error) bool {
+	if errors.Is(err, lbs.ErrBudgetExhausted) {
+		return true
+	}
+	return ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// ciMet reports whether every accumulator satisfies the relative
+// confidence target.
+func ciMet(accs []Accumulator, rel float64) bool {
+	if rel <= 0 {
+		return false
+	}
+	if accs[0].N() < ciMinSamples {
+		return false
+	}
+	for i := range accs {
+		if accs[i].CI95() > rel*math.Abs(accs[i].Mean()) {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize assembles Results from accumulator states.
+func finalize(aggs []Aggregate, accs []Accumulator, traces [][]TracePoint, queries int64) []Result {
+	results := make([]Result, len(aggs))
+	for j := range aggs {
+		results[j].Name = aggs[j].Name
+		results[j].Estimate = accs[j].Mean()
+		results[j].StdErr = accs[j].StdErr()
+		results[j].CI95 = accs[j].CI95()
+		results[j].Samples = accs[j].N()
+		results[j].Queries = queries
+		if traces != nil {
+			results[j].Trace = traces[j]
+		}
+	}
+	return results
+}
+
+// runSerial is the single-goroutine driver loop (the v1 semantics plus
+// cancellation, progress streaming and the CI stopping rule).
+func (d *Driver) runSerial(ctx context.Context, aggs []Aggregate, cfg runConfig) ([]Result, error) {
+	svc := d.Est.Service()
+	accs := make([]Accumulator, len(aggs))
+	traces := make([][]TracePoint, len(aggs))
+	startQ := svc.QueryCount()
+	points := make([]TracePoint, len(aggs))
+	for {
+		if cfg.maxSamples > 0 && accs[0].N() >= cfg.maxSamples {
+			break
+		}
+		if cfg.maxQueries > 0 && svc.QueryCount()-startQ >= cfg.maxQueries {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		vals, err := d.Est.Step(ctx, aggs)
+		if stopErr(ctx, err) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		q := svc.QueryCount() - startQ
+		for j := range aggs {
+			accs[j].Add(vals[j])
+			points[j] = TracePoint{Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean()}
+			traces[j] = append(traces[j], points[j])
+		}
+		if cfg.progress != nil {
+			cfg.progress(points)
+		}
+		if ciMet(accs, cfg.targetCI) {
+			break
+		}
+	}
+	if accs[0].N() == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
+	}
+	return finalize(aggs, accs, traces, svc.QueryCount()-startQ), nil
+}
+
+// sampleMsg carries one completed sample from a worker to the
+// collector.
+type sampleMsg struct {
+	vals    []float64
+	queries int64 // run-relative query count right after the sample
+}
+
+// runParallel executes cfg.parallelism workers, each over an
+// independent Fork of the estimator, against the shared service. Every
+// worker folds its own samples into private Accumulators; the final
+// estimate merges the per-worker states pairwise (Chan et al.), while
+// a collector goroutine orders the streamed samples into the trace,
+// drives the progress callback and evaluates the CI stopping rule.
+func (d *Driver) runParallel(ctx context.Context, aggs []Aggregate, cfg runConfig) ([]Result, error) {
+	svc := d.Est.Service()
+	startQ := svc.QueryCount()
+	n := cfg.parallelism
+
+	// Workers: the receiver itself plus n−1 forks (re-seeded so their
+	// random walks are independent).
+	ests := make([]Estimator, n)
+	ests[0] = d.Est
+	for i := 1; i < n; i++ {
+		ests[i] = d.Est.Fork(int64(i))
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		taken    atomic.Int64 // samples reserved (bounds maxSamples)
+		fatalMu  sync.Mutex
+		fatalErr error // first non-stop error
+		wg       sync.WaitGroup
+		workers  = make([][]Accumulator, n)
+		samples  = make(chan sampleMsg, n*2)
+	)
+	for w := 0; w < n; w++ {
+		workers[w] = make([]Accumulator, len(aggs))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			est := ests[w]
+			accs := workers[w]
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				if cfg.maxQueries > 0 && svc.QueryCount()-startQ >= cfg.maxQueries {
+					return
+				}
+				if cfg.maxSamples > 0 && taken.Add(1) > int64(cfg.maxSamples) {
+					return
+				}
+				vals, err := est.Step(runCtx, aggs)
+				if stopErr(runCtx, err) {
+					return
+				}
+				if err != nil {
+					fatalMu.Lock()
+					if fatalErr == nil {
+						fatalErr = err
+					}
+					fatalMu.Unlock()
+					cancel()
+					return
+				}
+				// Hand the sample to the collector before folding it in,
+				// so a cancellation between the two cannot produce a
+				// merged state the trace/progress stream never saw: a
+				// sample either reaches both or neither.
+				select {
+				case samples <- sampleMsg{vals: vals, queries: svc.QueryCount() - startQ}:
+				case <-runCtx.Done():
+					return
+				}
+				for j := range aggs {
+					accs[j].Add(vals[j])
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(samples)
+	}()
+
+	// Collector: orders the stream into the trace and monitors the CI
+	// target on its own running view of the merged state (same sample
+	// set, so the view agrees with the final pairwise merge).
+	monitor := make([]Accumulator, len(aggs))
+	traces := make([][]TracePoint, len(aggs))
+	points := make([]TracePoint, len(aggs))
+	for msg := range samples {
+		for j := range aggs {
+			monitor[j].Add(msg.vals[j])
+			points[j] = TracePoint{Queries: msg.queries, Samples: monitor[j].N(), Estimate: monitor[j].Mean()}
+			traces[j] = append(traces[j], points[j])
+		}
+		if cfg.progress != nil {
+			cfg.progress(points)
+		}
+		if ciMet(monitor, cfg.targetCI) {
+			cancel() // drain continues until workers exit
+		}
+	}
+
+	if fatalErr != nil {
+		return nil, fatalErr
+	}
+	// Pairwise merge of the per-worker accumulator states.
+	final := make([]Accumulator, len(aggs))
+	for w := 0; w < n; w++ {
+		for j := range aggs {
+			final[j].Merge(workers[w][j])
+		}
+	}
+	if final[0].N() == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
+	}
+	return finalize(aggs, final, traces, svc.QueryCount()-startQ), nil
+}

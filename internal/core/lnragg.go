@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
 
@@ -124,8 +123,8 @@ type lnrCell struct {
 }
 
 // member reports whether t is within the top-h at p.
-func (a *LNRAggregator) member(c *lnrCell, p geom.Point) (bool, error) {
-	recs, err := a.prober.probe(p)
+func (a *LNRAggregator) member(ctx context.Context, c *lnrCell, p geom.Point) (bool, error) {
+	recs, err := a.prober.probe(ctx, p)
 	if err != nil {
 		return false, err
 	}
@@ -142,14 +141,14 @@ func (a *LNRAggregator) member(c *lnrCell, p geom.Point) (bool, error) {
 // refined up to three times; ok is false when no valid displacer can
 // be identified (e.g. the crossing is the coverage/visibility
 // boundary, where weighting must treat the region edge as a wall).
-func (a *LNRAggregator) validatedMemberBracket(c *lnrCell, from, to geom.Point) (c3, c4 geom.Point, other int64, ok bool, err error) {
-	memberPred := func(p geom.Point) (bool, error) { return a.member(c, p) }
+func (a *LNRAggregator) validatedMemberBracket(ctx context.Context, c *lnrCell, from, to geom.Point) (c3, c4 geom.Point, other int64, ok bool, err error) {
+	memberPred := func(p geom.Point) (bool, error) { return a.member(ctx, c, p) }
 	c3, c4, err = predicateSearch(from, to, a.params.deltaCoarse, memberPred)
 	if err != nil {
 		return c3, c4, 0, false, err
 	}
 	for attempt := 0; ; attempt++ {
-		recs, err := a.prober.probe(c4)
+		recs, err := a.prober.probe(ctx, c4)
 		if err != nil {
 			return c3, c4, 0, false, err
 		}
@@ -162,7 +161,7 @@ func (a *LNRAggregator) validatedMemberBracket(c *lnrCell, from, to geom.Point) 
 			// than one rank event and the midpoint would not lie on
 			// B(t, displacer).
 			cand := recs[c.h-1].ID
-			recs3, err := a.prober.probe(c3)
+			recs3, err := a.prober.probe(ctx, c3)
 			if err != nil {
 				return c3, c4, 0, false, err
 			}
@@ -209,12 +208,12 @@ func (a *LNRAggregator) recordCoApp(c *lnrCell, recs []lbs.LNRRecord) {
 // outside. Brackets that silently jumped a zone where one tuple left
 // the top-k would otherwise register points on visibility boundaries
 // instead of the bisector.
-func (a *LNRAggregator) validIndicatorBracket(c *lnrCell, other int64, c3, c4 geom.Point) (bool, error) {
-	recs3, err := a.prober.probe(c3)
+func (a *LNRAggregator) validIndicatorBracket(ctx context.Context, c *lnrCell, other int64, c3, c4 geom.Point) (bool, error) {
+	recs3, err := a.prober.probe(ctx, c3)
 	if err != nil {
 		return false, err
 	}
-	recs4, err := a.prober.probe(c4)
+	recs4, err := a.prober.probe(ctx, c4)
 	if err != nil {
 		return false, err
 	}
@@ -228,9 +227,9 @@ func (a *LNRAggregator) validIndicatorBracket(c *lnrCell, other int64, c3, c4 ge
 // for bisector searches; unknown order counts as false, which biases
 // the bracket toward the t side and is corrected by later vertex
 // tests.
-func (a *LNRAggregator) orderPred(c *lnrCell, other int64) func(geom.Point) (bool, error) {
+func (a *LNRAggregator) orderPred(ctx context.Context, c *lnrCell, other int64) func(geom.Point) (bool, error) {
 	return func(p geom.Point) (bool, error) {
-		recs, err := a.prober.probe(p)
+		recs, err := a.prober.probe(ctx, p)
 		if err != nil {
 			return false, err
 		}
@@ -242,24 +241,24 @@ func (a *LNRAggregator) orderPred(c *lnrCell, other int64) func(geom.Point) (boo
 // findEdgeAlong locates the boundary of the top-h cell along the ray
 // from the anchor c1 in direction dir and returns the inferred cut.
 // found is false when the cell reaches the bounding box along the ray.
-func (a *LNRAggregator) findEdgeAlong(c *lnrCell, dir geom.Point) (cell.Cut, bool, error) {
+func (a *LNRAggregator) findEdgeAlong(ctx context.Context, c *lnrCell, dir geom.Point) (cell.Cut, bool, error) {
 	a.stats.EdgeSearches++
 	exit, ok := geom.RayRectExit(c.c1, dir, a.bound)
 	if !ok || exit.Dist(c.c1) < a.params.deltaCoarse {
 		return cell.Cut{}, false, nil
 	}
-	mExit, err := a.member(c, exit)
+	mExit, err := a.member(ctx, c, exit)
 	if err != nil {
 		return cell.Cut{}, false, err
 	}
 	if mExit {
 		return cell.Cut{}, false, nil // cell touches the boundary here
 	}
-	c3, c4, other, ok, err := a.validatedMemberBracket(c, c.c1, exit)
+	c3, c4, other, ok, err := a.validatedMemberBracket(ctx, c, c.c1, exit)
 	if err != nil || !ok {
 		return cell.Cut{}, false, err
 	}
-	cut, ok, err := a.registerFlip(c, other, c3.Mid(c4), c.c1)
+	cut, ok, err := a.registerFlip(ctx, c, other, c3.Mid(c4), c.c1)
 	if err != nil || !ok {
 		return cell.Cut{}, false, err
 	}
@@ -278,11 +277,11 @@ func (a *LNRAggregator) findEdgeAlong(c *lnrCell, dir geom.Point) (cell.Cut, boo
 // cell edges lie between, so the second point may legitimately be far
 // from the first. Only if every angled ray fails does the cut fall
 // back to a perpendicular placeholder through the single point.
-func (a *LNRAggregator) registerFlip(c *lnrCell, other int64, m geom.Point, anchor geom.Point) (cell.Cut, bool, error) {
+func (a *LNRAggregator) registerFlip(ctx context.Context, c *lnrCell, other int64, m geom.Point, anchor geom.Point) (cell.Cut, bool, error) {
 	c.flipPts[other] = append(c.flipPts[other], m)
 	minSep := math.Max(a.params.deltaPrime, anchor.Dist(m)/8)
 	if _, _, d := farthestPair(c.flipPts[other]); d < minSep {
-		p2, ok, err := a.secondFlipPoint(c, other, anchor, m)
+		p2, ok, err := a.secondFlipPoint(ctx, c, other, anchor, m)
 		if err != nil {
 			return cell.Cut{}, false, err
 		}
@@ -328,13 +327,13 @@ func farthestPair(pts []geom.Point) (geom.Point, geom.Point, float64) {
 // where neither tuple is visible are skipped (shortened once before
 // giving up), preventing brackets from landing on mere visibility
 // boundaries.
-func (a *LNRAggregator) secondFlipPoint(c *lnrCell, other int64, anchor, m geom.Point) (geom.Point, bool, error) {
+func (a *LNRAggregator) secondFlipPoint(ctx context.Context, c *lnrCell, other int64, anchor, m geom.Point) (geom.Point, bool, error) {
 	dir := m.Sub(anchor)
 	r := dir.Norm()
 	if r < geom.Eps {
 		return geom.Point{}, false, nil
 	}
-	pred := a.orderPred(c, other)
+	pred := a.orderPred(ctx, c, other)
 	// Strategy 1: ring search around the first flip point. Probe a
 	// circle of radius s centred on m (which lies on B(t, t′)); the
 	// bisector crosses the circle at two points, so some adjacent pair
@@ -356,7 +355,7 @@ func (a *LNRAggregator) secondFlipPoint(c *lnrCell, other int64, anchor, m geom.
 			if !a.bound.Contains(p) {
 				continue
 			}
-			recs, err := a.prober.probe(p)
+			recs, err := a.prober.probe(ctx, p)
 			if err != nil {
 				return geom.Point{}, false, err
 			}
@@ -383,7 +382,7 @@ func (a *LNRAggregator) secondFlipPoint(c *lnrCell, other int64, anchor, m geom.
 			if err != nil {
 				return geom.Point{}, false, err
 			}
-			valid, err := a.validIndicatorBracket(c, other, c3, c4)
+			valid, err := a.validIndicatorBracket(ctx, c, other, c3, c4)
 			if err != nil {
 				return geom.Point{}, false, err
 			}
@@ -413,7 +412,7 @@ func (a *LNRAggregator) secondFlipPoint(c *lnrCell, other int64, anchor, m geom.
 					far = anchor.Add(dir2.Scale(scale * r))
 				}
 			}
-			recs, err := a.prober.probe(far)
+			recs, err := a.prober.probe(ctx, far)
 			if err != nil {
 				return geom.Point{}, false, err
 			}
@@ -431,7 +430,7 @@ func (a *LNRAggregator) secondFlipPoint(c *lnrCell, other int64, anchor, m geom.
 			if err != nil {
 				return geom.Point{}, false, err
 			}
-			valid, err := a.validIndicatorBracket(c, other, c3, c4)
+			valid, err := a.validIndicatorBracket(ctx, c, other, c3, c4)
 			if err != nil {
 				return geom.Point{}, false, err
 			}
@@ -451,7 +450,7 @@ func (a *LNRAggregator) secondFlipPoint(c *lnrCell, other int64, anchor, m geom.
 // information alone. c1 must be a location where t ranks within the
 // top h. The returned complex approximates V_h(t) with edge precision
 // EdgeEps.
-func (a *LNRAggregator) buildCell(tID int64, h int, c1 geom.Point) (*cell.Complex, *lnrCell, error) {
+func (a *LNRAggregator) buildCell(ctx context.Context, tID int64, h int, c1 geom.Point) (*cell.Complex, *lnrCell, error) {
 	a.stats.Cells++
 	c := &lnrCell{
 		tID:     tID,
@@ -464,7 +463,7 @@ func (a *LNRAggregator) buildCell(tID int64, h int, c1 geom.Point) (*cell.Comple
 	}
 	// Initial four axis-aligned edge searches (Algorithm 6 line 3–5).
 	for _, dir := range []geom.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
-		cut, found, err := a.findEdgeAlong(c, dir)
+		cut, found, err := a.findEdgeAlong(ctx, c, dir)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -474,12 +473,12 @@ func (a *LNRAggregator) buildCell(tID int64, h int, c1 geom.Point) (*cell.Comple
 	}
 	confirmed := make(map[vkey]bool)
 	for round := 0; round < a.opts.MaxRoundsPerCell; round++ {
-		changed, err := a.vertexRound(c, confirmed)
+		changed, err := a.vertexRound(ctx, c, confirmed)
 		if err != nil {
 			return nil, nil, err
 		}
 		if h > 1 {
-			repaired, err := a.repairConcavity(c)
+			repaired, err := a.repairConcavity(ctx, c)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -499,7 +498,7 @@ func (a *LNRAggregator) buildCell(tID int64, h int, c1 geom.Point) (*cell.Comple
 // vertexRound runs one pass of Theorem-1 vertex confirmation, probing
 // unconfirmed vertices and searching for the missing edge behind every
 // failing vertex.
-func (a *LNRAggregator) vertexRound(c *lnrCell, confirmed map[vkey]bool) (bool, error) {
+func (a *LNRAggregator) vertexRound(ctx context.Context, c *lnrCell, confirmed map[vkey]bool) (bool, error) {
 	changed := false
 	for _, v := range c.region.Vertices() {
 		key := a.vkeyOf(v)
@@ -507,7 +506,7 @@ func (a *LNRAggregator) vertexRound(c *lnrCell, confirmed map[vkey]bool) (bool, 
 			continue
 		}
 		a.stats.VertexProbes++
-		in, err := a.member(c, v)
+		in, err := a.member(ctx, c, v)
 		if err != nil {
 			return false, err
 		}
@@ -520,7 +519,7 @@ func (a *LNRAggregator) vertexRound(c *lnrCell, confirmed map[vkey]bool) (bool, 
 			confirmed[key] = true
 			continue
 		}
-		c3, c4, other, ok, err := a.validatedMemberBracket(c, c.c1, v)
+		c3, c4, other, ok, err := a.validatedMemberBracket(ctx, c, c.c1, v)
 		if err != nil {
 			return false, err
 		}
@@ -528,7 +527,7 @@ func (a *LNRAggregator) vertexRound(c *lnrCell, confirmed map[vkey]bool) (bool, 
 			confirmed[key] = true
 			continue
 		}
-		cut, cutOK, err := a.registerFlip(c, other, c3.Mid(c4), c.c1)
+		cut, cutOK, err := a.registerFlip(ctx, c, other, c3.Mid(c4), c.c1)
 		if err != nil {
 			return false, err
 		}
@@ -558,7 +557,7 @@ func (a *LNRAggregator) vertexRound(c *lnrCell, confirmed map[vkey]bool) (bool, 
 // bisector B(t, t′) then crosses the segment between them and a
 // bracket search pins it down, potentially restoring a missed inward
 // vertex of the concave top-k cell.
-func (a *LNRAggregator) repairConcavity(c *lnrCell) (bool, error) {
+func (a *LNRAggregator) repairConcavity(ctx context.Context, c *lnrCell) (bool, error) {
 	verts := c.region.Vertices()
 	if len(verts) < 2 {
 		return false, nil
@@ -572,7 +571,7 @@ func (a *LNRAggregator) repairConcavity(c *lnrCell) (bool, error) {
 		}
 		var pos, neg *geom.Point
 		for i := range verts {
-			recs, err := a.prober.probe(verts[i])
+			recs, err := a.prober.probe(ctx, verts[i])
 			if err != nil {
 				return false, err
 			}
@@ -590,19 +589,19 @@ func (a *LNRAggregator) repairConcavity(c *lnrCell) (bool, error) {
 			continue // no witnessed flip: bisector cannot cut the region yet
 		}
 		a.stats.BisectorRepair++
-		pred := a.orderPred(c, other)
+		pred := a.orderPred(ctx, c, other)
 		c3, c4, err := predicateSearch(*pos, *neg, a.params.deltaCoarse, pred)
 		if err != nil {
 			return false, err
 		}
-		valid, err := a.validIndicatorBracket(c, other, c3, c4)
+		valid, err := a.validIndicatorBracket(ctx, c, other, c3, c4)
 		if err != nil {
 			return false, err
 		}
 		if !valid {
 			continue // visibility boundary, not B(t, t′)
 		}
-		cut, cutOK, err := a.registerFlip(c, other, c3.Mid(c4), *pos)
+		cut, cutOK, err := a.registerFlip(ctx, c, other, c3.Mid(c4), *pos)
 		if err != nil {
 			return false, err
 		}
@@ -632,9 +631,9 @@ func (a *LNRAggregator) massOfRegion(region *cell.Complex) float64 {
 // estimate per aggregate (Algorithm 6 body). Only the top-ranked
 // returned tuple is exploited when H = 1; with H > 1, each tuple at
 // rank ≤ H is weighted by its top-H cell.
-func (a *LNRAggregator) Step(aggs []Aggregate) ([]float64, error) {
+func (a *LNRAggregator) Step(ctx context.Context, aggs []Aggregate) ([]float64, error) {
 	q := a.smp.Sample(a.rng)
-	recs, err := a.prober.probe(q)
+	recs, err := a.prober.probe(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -657,7 +656,7 @@ func (a *LNRAggregator) Step(aggs []Aggregate) ([]float64, error) {
 	}
 	for i := 0; i < limit; i++ {
 		t := recs[i]
-		region, cctx, err := a.buildCell(t.ID, h, q)
+		region, cctx, err := a.buildCell(ctx, t.ID, h, q)
 		if err != nil {
 			return nil, err
 		}
@@ -667,7 +666,7 @@ func (a *LNRAggregator) Step(aggs []Aggregate) ([]float64, error) {
 		}
 		rec := recordOfLNR(t)
 		if needLoc {
-			if loc, err := a.localizeWith(cctx); err == nil {
+			if loc, err := a.localizeWith(ctx, cctx); err == nil {
 				rec.HasLoc = true
 				rec.Loc = loc
 			}
@@ -680,48 +679,31 @@ func (a *LNRAggregator) Step(aggs []Aggregate) ([]float64, error) {
 	return out, nil
 }
 
-// Run repeatedly samples until maxSamples (if > 0) or maxQueries (if
-// > 0) or service budget exhaustion, returning one Result per
-// aggregate.
-func (a *LNRAggregator) Run(aggs []Aggregate, maxSamples int, maxQueries int64) ([]Result, error) {
-	if len(aggs) == 0 {
-		return nil, fmt.Errorf("core: no aggregates given")
-	}
-	accs := make([]Accumulator, len(aggs))
-	results := make([]Result, len(aggs))
-	startQ := a.svc.QueryCount()
-	for {
-		if maxSamples > 0 && accs[0].N() >= maxSamples {
-			break
-		}
-		if maxQueries > 0 && a.svc.QueryCount()-startQ >= maxQueries {
-			break
-		}
-		vals, err := a.Step(aggs)
-		if errors.Is(err, lbs.ErrBudgetExhausted) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		q := a.svc.QueryCount() - startQ
-		for j := range aggs {
-			accs[j].Add(vals[j])
-			results[j].Trace = append(results[j].Trace, TracePoint{
-				Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean(),
-			})
-		}
-	}
-	if accs[0].N() == 0 {
-		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
-	}
-	for j := range aggs {
-		results[j].Name = aggs[j].Name
-		results[j].Estimate = accs[j].Mean()
-		results[j].StdErr = accs[j].StdErr()
-		results[j].CI95 = accs[j].CI95()
-		results[j].Samples = accs[j].N()
-		results[j].Queries = a.svc.QueryCount() - startQ
-	}
-	return results, nil
+// Service returns the Oracle this aggregator queries, implementing
+// Estimator.
+func (a *LNRAggregator) Service() Oracle { return a.svc }
+
+// Fork returns an independent LNR aggregator of the same
+// configuration over the same service for the Driver's parallel mode.
+// The fork seed mixes a draw from the receiver's generator with the
+// caller-supplied index (see LRAggregator.Fork); forks start with an
+// empty probe cache.
+func (a *LNRAggregator) Fork(seed int64) Estimator {
+	opts := a.opts
+	opts.Seed = a.rng.Int63() ^ (seed << 32)
+	return NewLNRAggregator(a.svc, opts)
+}
+
+// Run draws samples through the shared Driver until one of the
+// configured bounds triggers (see RunOption); with no options it runs
+// until the service budget is exhausted or ctx is canceled.
+func (a *LNRAggregator) Run(ctx context.Context, aggs []Aggregate, opts ...RunOption) ([]Result, error) {
+	return Run(ctx, a, aggs, opts...)
+}
+
+// RunBudget preserves the v1 positional run signature.
+//
+// Deprecated: use Run with WithMaxSamples / WithMaxQueries.
+func (a *LNRAggregator) RunBudget(aggs []Aggregate, maxSamples int, maxQueries int64) ([]Result, error) {
+	return a.Run(context.Background(), aggs, WithMaxSamples(maxSamples), WithMaxQueries(maxQueries))
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestLNRCellMatchesGroundTruthTop1(t *testing.T) {
 	// Pick a few tuples by probing their own locations (top-1 there).
 	for idx := 0; idx < 8; idx++ {
 		loc := db.Tuple(idx).Loc
-		region, _, err := agg.buildCell(db.Tuple(idx).ID, 1, loc)
+		region, _, err := agg.buildCell(context.Background(), db.Tuple(idx).ID, 1, loc)
 		if err != nil {
 			t.Fatalf("tuple %d: %v", idx, err)
 		}
@@ -53,7 +54,7 @@ func TestLNRCellMatchesGroundTruthTopK(t *testing.T) {
 	agg := NewLNRAggregator(svc, LNROptions{H: 3, Seed: 2, EdgeEps: svc.Bounds().Diagonal() * 1e-4})
 	for idx := 0; idx < 6; idx++ {
 		loc := db.Tuple(idx).Loc
-		region, _, err := agg.buildCell(db.Tuple(idx).ID, 3, loc)
+		region, _, err := agg.buildCell(context.Background(), db.Tuple(idx).ID, 3, loc)
 		if err != nil {
 			t.Fatalf("tuple %d: %v", idx, err)
 		}
@@ -68,7 +69,7 @@ func TestLNRCellMatchesGroundTruthTopK(t *testing.T) {
 func TestLNRCountEstimate(t *testing.T) {
 	svc, db := lnrFixture(50, 3, 227)
 	agg := NewLNRAggregator(svc, LNROptions{Seed: 3})
-	res, err := agg.Run([]Aggregate{Count()}, 150, 0)
+	res, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(150))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestLNRCountEstimate(t *testing.T) {
 func TestLNRCountTopH(t *testing.T) {
 	svc, db := lnrFixture(60, 5, 229)
 	agg := NewLNRAggregator(svc, LNROptions{H: 2, Seed: 5})
-	res, err := agg.Run([]Aggregate{Count()}, 120, 0)
+	res, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(120))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestLNRAttributeAggregates(t *testing.T) {
 	db := lbs.NewDatabase(bounds, tuples)
 	svc := lbs.NewService(db, lbs.Options{K: 3})
 	agg := NewLNRAggregator(svc, LNROptions{Seed: 7})
-	res, err := agg.Run([]Aggregate{CountTag("gender", "m"), Count()}, 150, 0)
+	res, err := agg.Run(context.Background(), []Aggregate{CountTag("gender", "m"), Count()}, WithMaxSamples(150))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestLNRLocalizeExact(t *testing.T) {
 	var worst float64
 	for idx := 0; idx < 10; idx++ {
 		truth := db.Tuple(idx).Loc
-		got, err := agg.Localize(db.Tuple(idx).ID, truth)
+		got, err := agg.Localize(context.Background(), db.Tuple(idx).ID, truth)
 		if err != nil {
 			t.Logf("tuple %d: %v", idx, err)
 			continue
@@ -165,7 +166,7 @@ func TestLNRLocalizeObfuscated(t *testing.T) {
 	var errEff, errTrue []float64
 	for idx := 0; idx < 8; idx++ {
 		eff := db.EffectiveLoc(idx)
-		got, err := agg.Localize(db.Tuple(idx).ID, eff)
+		got, err := agg.Localize(context.Background(), db.Tuple(idx).ID, eff)
 		if err != nil {
 			continue
 		}
@@ -200,7 +201,7 @@ func TestLNRLocationCondition(t *testing.T) {
 	sub := geom.NewRect(geom.Pt(0, 0), geom.Pt(50, 100))
 	truth := float64(db.Count(func(tp *lbs.Tuple) bool { return sub.Contains(tp.Loc) }))
 	agg := NewLNRAggregator(svc, LNROptions{Seed: 17})
-	res, err := agg.Run([]Aggregate{CountInRect(sub)}, 120, 0)
+	res, err := agg.Run(context.Background(), []Aggregate{CountInRect(sub)}, WithMaxSamples(120))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestLNRBudgetStops(t *testing.T) {
 	db := smallService2(60, 241)
 	svc := lbs.NewService(db, lbs.Options{K: 2, Budget: 3000})
 	agg := NewLNRAggregator(svc, LNROptions{Seed: 19})
-	res, err := agg.Run([]Aggregate{Count()}, 0, 0)
+	res, err := agg.Run(context.Background(), []Aggregate{Count()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,10 +264,10 @@ func TestLNRProberCaching(t *testing.T) {
 	svc := lbs.NewService(db, lbs.Options{K: 2})
 	p := newLNRProber(svc, nil)
 	pt := geom.Pt(10, 10)
-	if _, err := p.probe(pt); err != nil {
+	if _, err := p.probe(context.Background(), pt); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.probe(pt); err != nil {
+	if _, err := p.probe(context.Background(), pt); err != nil {
 		t.Fatal(err)
 	}
 	if svc.QueryCount() != 1 {

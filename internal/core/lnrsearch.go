@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,11 +27,11 @@ func newLNRProber(svc Oracle, filter lbs.Filter) *lnrProber {
 	}
 }
 
-func (p *lnrProber) probe(pt geom.Point) ([]lbs.LNRRecord, error) {
+func (p *lnrProber) probe(ctx context.Context, pt geom.Point) ([]lbs.LNRRecord, error) {
 	if recs, ok := p.cache[pt]; ok {
 		return recs, nil
 	}
-	recs, err := p.svc.QueryLNR(pt, p.filter)
+	recs, err := p.svc.QueryLNR(ctx, pt, p.filter)
 	if err != nil {
 		return nil, err
 	}

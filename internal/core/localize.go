@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -29,19 +30,19 @@ import (
 // the line through o and t (verified analytically and in tests), i.e.
 // the same line the paper derives via its angle identity a+b+c = π.
 // Two vertices give two such lines; their intersection is t.
-func (a *LNRAggregator) Localize(tID int64, anchor geom.Point) (geom.Point, error) {
-	recs, err := a.prober.probe(anchor)
+func (a *LNRAggregator) Localize(ctx context.Context, tID int64, anchor geom.Point) (geom.Point, error) {
+	recs, err := a.prober.probe(ctx, anchor)
 	if err != nil {
 		return geom.Point{}, err
 	}
 	if rankIn(recs, tID) != 0 {
 		return geom.Point{}, fmt.Errorf("core: Localize anchor does not return tuple %d as top-1", tID)
 	}
-	_, cctx, err := a.buildCell(tID, 1, anchor)
+	_, cctx, err := a.buildCell(ctx, tID, 1, anchor)
 	if err != nil {
 		return geom.Point{}, err
 	}
-	return a.localizeWith(cctx)
+	return a.localizeWith(ctx, cctx)
 }
 
 // vertexLine is one (o, line-through-t) pair derived at a cell vertex.
@@ -52,7 +53,7 @@ type vertexLine struct {
 
 // localizeWith runs the two-vertex reflection construction over an
 // inferred top-1 cell.
-func (a *LNRAggregator) localizeWith(c *lnrCell) (geom.Point, error) {
+func (a *LNRAggregator) localizeWith(ctx context.Context, c *lnrCell) (geom.Point, error) {
 	a.stats.Localizations++
 	if c.h != 1 {
 		return geom.Point{}, fmt.Errorf("core: localization requires a top-1 cell")
@@ -117,7 +118,7 @@ func (a *LNRAggregator) localizeWith(c *lnrCell) (geom.Point, error) {
 		if dup {
 			continue
 		}
-		vl, err := a.vertexLineAt(c, cd.k1, cd.k2, cd.o)
+		vl, err := a.vertexLineAt(ctx, c, cd.k1, cd.k2, cd.o)
 		if err != nil {
 			continue // try the next candidate vertex
 		}
@@ -139,10 +140,10 @@ func (a *LNRAggregator) localizeWith(c *lnrCell) (geom.Point, error) {
 // vertexLineAt derives the line through vertex o and the hidden tuple
 // via the reflection construction, spending one ring search plus one
 // bracket search to infer d2 = B(t2, t3).
-func (a *LNRAggregator) vertexLineAt(c *lnrCell, k1, k2 int64, o geom.Point) (vertexLine, error) {
+func (a *LNRAggregator) vertexLineAt(ctx context.Context, c *lnrCell, k1, k2 int64, o geom.Point) (vertexLine, error) {
 	l1, _ := c.region.CutLine(k1)
 	l2, _ := c.region.CutLine(k2)
-	d2, err := a.findThirdBisector(c, k1, k2, o)
+	d2, err := a.findThirdBisector(ctx, c, k1, k2, o)
 	if err != nil {
 		return vertexLine{}, err
 	}
@@ -163,7 +164,7 @@ func (a *LNRAggregator) vertexLineAt(c *lnrCell, k1, k2 int64, o geom.Point) (ve
 // bracket-searches the flipping arc chord. The line through o and the
 // flip point is d2 (both o and the flip point are equidistant to t2
 // and t3).
-func (a *LNRAggregator) findThirdBisector(c *lnrCell, t2, t3 int64, o geom.Point) (geom.Line, error) {
+func (a *LNRAggregator) findThirdBisector(ctx context.Context, c *lnrCell, t2, t3 int64, o geom.Point) (geom.Line, error) {
 	// Ring radius: a modest fraction of the cell scale keeps both
 	// t2 and t3 within the top-k at the probes.
 	radius := math.Max(math.Sqrt(c.region.Area())/4, o.Dist(c.c1)/4)
@@ -183,7 +184,7 @@ func (a *LNRAggregator) findThirdBisector(c *lnrCell, t2, t3 int64, o geom.Point
 			if !a.bound.Contains(p) {
 				continue
 			}
-			recs, err := a.prober.probe(p)
+			recs, err := a.prober.probe(ctx, p)
 			if err != nil {
 				return geom.Line{}, err
 			}
@@ -199,7 +200,7 @@ func (a *LNRAggregator) findThirdBisector(c *lnrCell, t2, t3 int64, o geom.Point
 					pos, neg = pj.p, pi.p
 				}
 				pred := func(p geom.Point) (bool, error) {
-					recs, err := a.prober.probe(p)
+					recs, err := a.prober.probe(ctx, p)
 					if err != nil {
 						return false, err
 					}

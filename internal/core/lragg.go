@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -173,8 +172,8 @@ func (a *LRAggregator) History() *History { return a.hist }
 // implements the §5.3 post-processing that recovers nearest-neighbor
 // semantics from the richer answer (locations are returned, so the
 // client can always re-rank).
-func (a *LRAggregator) query(p geom.Point) ([]lbs.LRRecord, error) {
-	recs, err := a.svc.QueryLR(p, a.opts.Filter)
+func (a *LRAggregator) query(ctx context.Context, p geom.Point) ([]lbs.LRRecord, error) {
+	recs, err := a.svc.QueryLR(ctx, p, a.opts.Filter)
 	if err != nil {
 		return nil, err
 	}
@@ -278,11 +277,11 @@ type cellContext struct {
 
 // countCloser counts observed tuples strictly closer to p than the
 // target, across global and per-cell history.
-func (a *LRAggregator) countCloser(ctx *cellContext, p geom.Point) int {
+func (a *LRAggregator) countCloser(cc *cellContext, p geom.Point) int {
 	if a.opts.UseHistory {
-		return a.hist.CountCloser(p, ctx.tLoc, ctx.tID)
+		return a.hist.CountCloser(p, cc.tLoc, cc.tID)
 	}
-	return ctx.local.CountCloser(p, ctx.tLoc, ctx.tID)
+	return cc.local.CountCloser(p, cc.tLoc, cc.tID)
 }
 
 // canSkip reports whether p provably lies inside the top-h cell
@@ -290,29 +289,29 @@ func (a *LRAggregator) countCloser(ctx *cellContext, p geom.Point) int {
 // covered by the union of confirmed disks — guaranteeing every tuple
 // closer to p than t has been observed — and the observed
 // closer-than-t count must stay below h.
-func (a *LRAggregator) canSkip(ctx *cellContext, p geom.Point) bool {
-	if len(ctx.disks) == 0 {
+func (a *LRAggregator) canSkip(cc *cellContext, p geom.Point) bool {
+	if len(cc.disks) == 0 {
 		return false
 	}
-	r := p.Dist(ctx.tLoc)
+	r := p.Dist(cc.tLoc)
 	if r < geom.Eps {
 		return true // p is the tuple location itself
 	}
 	margin := r * 1e-9
-	if !geom.DiskUnionCoversCircle(ctx.disks, geom.Circle{Center: p, R: r},
+	if !geom.DiskUnionCoversCircle(cc.disks, geom.Circle{Center: p, R: r},
 		a.opts.LowerBoundSamples, margin) {
 		return false
 	}
-	return a.countCloser(ctx, p) <= ctx.h-1
+	return a.countCloser(cc, p) <= cc.h-1
 }
 
 // computeWeight computes 1/p̂(t) for tuple t using its top-h Voronoi
 // cell, by the Theorem-1 loop plus the enabled devices. hint is the
 // answer that discovered t (used by fast initialization); seed is the
 // history-derived top-k complex from chooseH (may be nil).
-func (a *LRAggregator) computeWeight(tID int64, tLoc geom.Point, h int, hint []lbs.LRRecord, seed *cell.Complex) (float64, error) {
+func (a *LRAggregator) computeWeight(ctx context.Context, tID int64, tLoc geom.Point, h int, hint []lbs.LRRecord, seed *cell.Complex) (float64, error) {
 	a.stats.Cells++
-	ctx := &cellContext{
+	cc := &cellContext{
 		tID:   tID,
 		tLoc:  tLoc,
 		h:     h,
@@ -320,68 +319,68 @@ func (a *LRAggregator) computeWeight(tID int64, tLoc geom.Point, h int, hint []l
 	}
 	// Seed the local history from the discovering answer.
 	for _, r := range hint {
-		ctx.local.Observe(r.ID, r.Loc)
+		cc.local.Observe(r.ID, r.Loc)
 	}
 	boundPoly := a.bound.Polygon()
 	if seed != nil {
-		ctx.region = seed.WithK(h)
+		cc.region = seed.WithK(h)
 	} else {
-		ctx.region = cell.New(boundPoly, h)
-		cell.InsertSites(ctx.region, tLoc, sitesOf(hint, tID))
+		cc.region = cell.New(boundPoly, h)
+		cell.InsertSites(cc.region, tLoc, sitesOf(hint, tID))
 	}
 
 	// Faster initialization (§3.2.1) when the region is still huge.
-	if a.opts.FastInit && ctx.region.Area() > 0.25*a.bound.Area() {
-		if err := a.fastInit(ctx); err != nil {
+	if a.opts.FastInit && cc.region.Area() > 0.25*a.bound.Area() {
+		if err := a.fastInit(ctx, cc); err != nil {
 			return 0, err
 		}
 	}
 
 	confirmed := make(map[vkey]bool)
-	prevArea := ctx.region.Area()
+	prevArea := cc.region.Area()
 	for round := 1; ; round++ {
 		if round > a.opts.MaxRounds {
 			a.stats.MaxRoundsTripped++
 			break
 		}
 		changed := false
-		for _, v := range ctx.region.Vertices() {
+		for _, v := range cc.region.Vertices() {
 			key := a.keyOf(v)
 			if confirmed[key] {
 				continue
 			}
-			if a.opts.UseLowerBound && a.canSkip(ctx, v) {
+			if a.opts.UseLowerBound && a.canSkip(cc, v) {
 				confirmed[key] = true
 				a.stats.SkippedByLower++
 				continue
 			}
-			recs, err := a.query(v)
+			recs, err := a.query(ctx, v)
 			if err != nil {
 				return 0, err
 			}
 			a.stats.VertexQueries++
-			a.observe(recs, ctx.local)
+			a.observe(recs, cc.local)
 			if r := rankOfID(recs, tID); r >= 0 {
-				ctx.disks = append(ctx.disks, geom.Circle{Center: v, R: v.Dist(tLoc)})
+				cc.disks = append(cc.disks, geom.Circle{Center: v, R: v.Dist(tLoc)})
 				if r < h {
 					confirmed[key] = true
 				}
 			}
-			if cell.InsertSites(ctx.region, tLoc, sitesOf(recs, tID)) > 0 {
+			if cell.InsertSites(cc.region, tLoc, sitesOf(recs, tID)) > 0 {
 				changed = true
 			}
 		}
 		if !changed {
 			break // Theorem 1: the region is the exact top-h cell
 		}
-		area := ctx.region.Area()
+		area := cc.region.Area()
 		if a.opts.MonteCarlo && round >= a.opts.MCMinRounds &&
 			prevArea-area < a.opts.MCAreaRatio*math.Max(area, geom.Eps) {
-			return a.mcFinish(ctx)
+			return a.mcFinish(ctx, cc)
 		}
 		prevArea = area
 	}
-	p := a.massOfRegion(ctx.region)
+	p := a.massOfRegion(cc.region)
 	if p <= 0 {
 		a.stats.DegenerateCells++
 		return 0, nil
@@ -395,55 +394,55 @@ func (a *LRAggregator) computeWeight(tID int64, tLoc geom.Point, h int, hint []l
 // was too small (no real tuple discovered), the region reverts to the
 // full bounding box — at a waste of at most the initialization
 // queries, exactly as the paper argues.
-func (a *LRAggregator) fastInit(ctx *cellContext) error {
-	r := a.fastInitRadius(ctx)
+func (a *LRAggregator) fastInit(ctx context.Context, cc *cellContext) error {
+	r := a.fastInitRadius(cc)
 	fake := [4]geom.Point{
-		ctx.tLoc.Add(geom.Pt(2*r, 0)),
-		ctx.tLoc.Add(geom.Pt(-2*r, 0)),
-		ctx.tLoc.Add(geom.Pt(0, 2*r)),
-		ctx.tLoc.Add(geom.Pt(0, -2*r)),
+		cc.tLoc.Add(geom.Pt(2*r, 0)),
+		cc.tLoc.Add(geom.Pt(-2*r, 0)),
+		cc.tLoc.Add(geom.Pt(0, 2*r)),
+		cc.tLoc.Add(geom.Pt(0, -2*r)),
 	}
-	tmp := cell.New(a.bound.Polygon(), ctx.h)
+	tmp := cell.New(a.bound.Polygon(), cc.h)
 	// Real cuts already known (history / hint) keep the fake region
 	// honest; then the fake cuts shrink it to a box around t.
-	cell.InsertSites(tmp, ctx.tLoc, a.knownSites(ctx))
+	cell.InsertSites(tmp, cc.tLoc, a.knownSites(cc))
 	for i, f := range fake {
-		tmp.AddCut(cell.Cut{Line: geom.Bisector(ctx.tLoc, f), Key: int64(-1 - i)})
+		tmp.AddCut(cell.Cut{Line: geom.Bisector(cc.tLoc, f), Key: int64(-1 - i)})
 	}
 	for _, v := range tmp.Vertices() {
-		recs, err := a.query(v)
+		recs, err := a.query(ctx, v)
 		if err != nil {
 			return err
 		}
 		a.stats.FastInitQueries++
-		a.observe(recs, ctx.local)
-		if rank := rankOfID(recs, ctx.tID); rank >= 0 {
-			ctx.disks = append(ctx.disks, geom.Circle{Center: v, R: v.Dist(ctx.tLoc)})
+		a.observe(recs, cc.local)
+		if rank := rankOfID(recs, cc.tID); rank >= 0 {
+			cc.disks = append(cc.disks, geom.Circle{Center: v, R: v.Dist(cc.tLoc)})
 		}
 	}
 	// Rebuild from real tuples only.
-	region := cell.New(a.bound.Polygon(), ctx.h)
-	cell.InsertSites(region, ctx.tLoc, a.knownSites(ctx))
-	ctx.region = region
+	region := cell.New(a.bound.Polygon(), cc.h)
+	cell.InsertSites(region, cc.tLoc, a.knownSites(cc))
+	cc.region = region
 	return nil
 }
 
 // knownSites returns every observed tuple (global history if enabled,
 // else the cell-local history) as sites, excluding the target.
-func (a *LRAggregator) knownSites(ctx *cellContext) []cell.Site {
+func (a *LRAggregator) knownSites(cc *cellContext) []cell.Site {
 	if a.opts.UseHistory {
-		return a.hist.Sites(ctx.tID)
+		return a.hist.Sites(cc.tID)
 	}
-	return ctx.local.Sites(ctx.tID)
+	return cc.local.Sites(cc.tID)
 }
 
 // fastInitRadius chooses the fake-box scale from the discovering
 // answer: FastInitFactor × the spread of the answer around the target,
 // falling back to a twentieth of the bounding diagonal.
-func (a *LRAggregator) fastInitRadius(ctx *cellContext) float64 {
+func (a *LRAggregator) fastInitRadius(cc *cellContext) float64 {
 	var m float64
-	for _, s := range ctx.local.Sites(ctx.tID) {
-		if d := s.Loc.Dist(ctx.tLoc); d > m {
+	for _, s := range cc.local.Sites(cc.tID) {
+		if d := s.Loc.Dist(cc.tLoc); d > m {
 			m = d
 		}
 	}
@@ -459,32 +458,32 @@ func (a *LRAggregator) fastInitRadius(ctx *cellContext) float64 {
 // count r is an unbiased estimate of mass(V′)/mass(V_h), so r/mass(V′)
 // is an unbiased estimate of 1/p(t). Points proven inside by the lower
 // bound count as successes without a query.
-func (a *LRAggregator) mcFinish(ctx *cellContext) (float64, error) {
+func (a *LRAggregator) mcFinish(ctx context.Context, cc *cellContext) (float64, error) {
 	a.stats.MCFinishes++
-	pPrime := a.massOfRegion(ctx.region)
+	pPrime := a.massOfRegion(cc.region)
 	if pPrime <= 0 {
 		a.stats.DegenerateCells++
 		return 0, nil
 	}
 	for r := 1; r <= a.opts.MCMaxTrials; r++ {
 		a.stats.MCTrials++
-		x, ok := a.sampleFromRegion(ctx.region)
+		x, ok := a.sampleFromRegion(cc.region)
 		if !ok {
 			a.stats.DegenerateCells++
 			return 0, nil
 		}
-		if a.opts.UseLowerBound && a.canSkip(ctx, x) {
+		if a.opts.UseLowerBound && a.canSkip(cc, x) {
 			a.stats.SkippedByLower++
 			return float64(r) / pPrime, nil
 		}
-		recs, err := a.query(x)
+		recs, err := a.query(ctx, x)
 		if err != nil {
 			return 0, err
 		}
-		a.observe(recs, ctx.local)
-		if rank := rankOfID(recs, ctx.tID); rank >= 0 {
-			ctx.disks = append(ctx.disks, geom.Circle{Center: x, R: x.Dist(ctx.tLoc)})
-			if rank < ctx.h {
+		a.observe(recs, cc.local)
+		if rank := rankOfID(recs, cc.tID); rank >= 0 {
+			cc.disks = append(cc.disks, geom.Circle{Center: x, R: x.Dist(cc.tLoc)})
+			if rank < cc.h {
 				return float64(r) / pPrime, nil
 			}
 		}
@@ -531,9 +530,9 @@ func (a *LRAggregator) sampleFromRegion(region *cell.Complex) (geom.Point, bool)
 
 // Step draws one random query location and produces one unbiased
 // per-sample estimate for each aggregate (Algorithm 5 body).
-func (a *LRAggregator) Step(aggs []Aggregate) ([]float64, error) {
+func (a *LRAggregator) Step(ctx context.Context, aggs []Aggregate) ([]float64, error) {
 	q := a.smp.Sample(a.rng)
-	recs, err := a.query(q)
+	recs, err := a.query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -568,7 +567,7 @@ func (a *LRAggregator) Step(aggs []Aggregate) ([]float64, error) {
 		if i+1 > h {
 			continue
 		}
-		w, err := a.computeWeight(t.ID, t.Loc, h, recs, seedRegion)
+		w, err := a.computeWeight(ctx, t.ID, t.Loc, h, recs, seedRegion)
 		if err != nil {
 			return nil, err
 		}
@@ -584,50 +583,34 @@ func (a *LRAggregator) Step(aggs []Aggregate) ([]float64, error) {
 	return out, nil
 }
 
-// Run repeatedly samples until maxSamples (if > 0) or until the run
-// has spent maxQueries (if > 0) or the service budget is exhausted,
-// and returns one Result per aggregate. Budget exhaustion mid-sample
-// discards the incomplete sample and ends the run normally.
-func (a *LRAggregator) Run(aggs []Aggregate, maxSamples int, maxQueries int64) ([]Result, error) {
-	if len(aggs) == 0 {
-		return nil, fmt.Errorf("core: no aggregates given")
-	}
-	accs := make([]Accumulator, len(aggs))
-	results := make([]Result, len(aggs))
-	startQ := a.svc.QueryCount()
-	for {
-		if maxSamples > 0 && accs[0].N() >= maxSamples {
-			break
-		}
-		spent := a.svc.QueryCount() - startQ
-		if maxQueries > 0 && spent >= maxQueries {
-			break
-		}
-		vals, err := a.Step(aggs)
-		if errors.Is(err, lbs.ErrBudgetExhausted) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		q := a.svc.QueryCount() - startQ
-		for j := range aggs {
-			accs[j].Add(vals[j])
-			results[j].Trace = append(results[j].Trace, TracePoint{
-				Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean(),
-			})
-		}
-	}
-	if accs[0].N() == 0 {
-		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
-	}
-	for j := range aggs {
-		results[j].Name = aggs[j].Name
-		results[j].Estimate = accs[j].Mean()
-		results[j].StdErr = accs[j].StdErr()
-		results[j].CI95 = accs[j].CI95()
-		results[j].Samples = accs[j].N()
-		results[j].Queries = a.svc.QueryCount() - startQ
-	}
-	return results, nil
+// Service returns the Oracle this aggregator queries, implementing
+// Estimator.
+func (a *LRAggregator) Service() Oracle { return a.svc }
+
+// Fork returns an independent LR aggregator of the same configuration
+// over the same service for the Driver's parallel mode. The fork seed
+// mixes a draw from the receiver's generator with the caller-supplied
+// index, so successive parallel runs on the same aggregator spawn
+// forks with fresh, independent random walks instead of replaying the
+// previous run's samples. Forks start with an empty observation
+// history; history is a variance-reduction device only, so the forked
+// samples remain unbiased.
+func (a *LRAggregator) Fork(seed int64) Estimator {
+	opts := a.opts
+	opts.Seed = a.rng.Int63() ^ (seed << 32)
+	return NewLRAggregator(a.svc, opts)
+}
+
+// Run draws samples through the shared Driver until one of the
+// configured bounds triggers (see RunOption); with no options it runs
+// until the service budget is exhausted or ctx is canceled.
+func (a *LRAggregator) Run(ctx context.Context, aggs []Aggregate, opts ...RunOption) ([]Result, error) {
+	return Run(ctx, a, aggs, opts...)
+}
+
+// RunBudget preserves the v1 positional run signature.
+//
+// Deprecated: use Run with WithMaxSamples / WithMaxQueries.
+func (a *LRAggregator) RunBudget(aggs []Aggregate, maxSamples int, maxQueries int64) ([]Result, error) {
+	return a.Run(context.Background(), aggs, WithMaxSamples(maxSamples), WithMaxQueries(maxQueries))
 }

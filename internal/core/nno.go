@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
 
@@ -84,8 +83,8 @@ func NewNNOBaseline(svc Oracle, opts NNOOptions) *NNOBaseline {
 	}
 }
 
-func (b *NNOBaseline) query(p geom.Point) ([]lbs.LRRecord, error) {
-	return b.svc.QueryLR(p, b.opts.Filter)
+func (b *NNOBaseline) query(ctx context.Context, p geom.Point) ([]lbs.LRRecord, error) {
+	return b.svc.QueryLR(ctx, p, b.opts.Filter)
 }
 
 // isTop1 reports whether the answer's top tuple is id.
@@ -95,9 +94,9 @@ func isTop1(recs []lbs.LRRecord, id int64) bool {
 
 // Step draws one random query and produces one per-sample estimate per
 // aggregate.
-func (b *NNOBaseline) Step(aggs []Aggregate) ([]float64, error) {
+func (b *NNOBaseline) Step(ctx context.Context, aggs []Aggregate) ([]float64, error) {
 	q := b.smp.Sample(b.rng)
-	recs, err := b.query(q)
+	recs, err := b.query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +115,7 @@ func (b *NNOBaseline) Step(aggs []Aggregate) ([]float64, error) {
 		)
 		cornerHit := false
 		for _, c := range box.Corners() {
-			cr, err := b.query(b.bound.Clamp(c))
+			cr, err := b.query(ctx, b.bound.Clamp(c))
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +142,7 @@ func (b *NNOBaseline) Step(aggs []Aggregate) ([]float64, error) {
 	hits := 0
 	for i := 0; i < b.opts.ProbesPerCell; i++ {
 		p := geom.RandomInRect(b.rng, box)
-		pr, err := b.query(p)
+		pr, err := b.query(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -175,48 +174,30 @@ func (b *NNOBaseline) Step(aggs []Aggregate) ([]float64, error) {
 	return out, nil
 }
 
-// Run repeatedly samples until maxSamples (if > 0) or maxQueries (if
-// > 0) or service budget exhaustion, returning one Result per
-// aggregate.
-func (b *NNOBaseline) Run(aggs []Aggregate, maxSamples int, maxQueries int64) ([]Result, error) {
-	if len(aggs) == 0 {
-		return nil, fmt.Errorf("core: no aggregates given")
-	}
-	accs := make([]Accumulator, len(aggs))
-	results := make([]Result, len(aggs))
-	startQ := b.svc.QueryCount()
-	for {
-		if maxSamples > 0 && accs[0].N() >= maxSamples {
-			break
-		}
-		if maxQueries > 0 && b.svc.QueryCount()-startQ >= maxQueries {
-			break
-		}
-		vals, err := b.Step(aggs)
-		if errors.Is(err, lbs.ErrBudgetExhausted) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		q := b.svc.QueryCount() - startQ
-		for j := range aggs {
-			accs[j].Add(vals[j])
-			results[j].Trace = append(results[j].Trace, TracePoint{
-				Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean(),
-			})
-		}
-	}
-	if accs[0].N() == 0 {
-		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
-	}
-	for j := range aggs {
-		results[j].Name = aggs[j].Name
-		results[j].Estimate = accs[j].Mean()
-		results[j].StdErr = accs[j].StdErr()
-		results[j].CI95 = accs[j].CI95()
-		results[j].Samples = accs[j].N()
-		results[j].Queries = b.svc.QueryCount() - startQ
-	}
-	return results, nil
+// Service returns the Oracle this baseline queries, implementing
+// Estimator.
+func (b *NNOBaseline) Service() Oracle { return b.svc }
+
+// Fork returns an independent baseline of the same configuration over
+// the same service for the Driver's parallel mode. The fork seed
+// mixes a draw from the receiver's generator with the caller-supplied
+// index (see LRAggregator.Fork).
+func (b *NNOBaseline) Fork(seed int64) Estimator {
+	opts := b.opts
+	opts.Seed = b.rng.Int63() ^ (seed << 32)
+	return NewNNOBaseline(b.svc, opts)
+}
+
+// Run draws samples through the shared Driver until one of the
+// configured bounds triggers (see RunOption); with no options it runs
+// until the service budget is exhausted or ctx is canceled.
+func (b *NNOBaseline) Run(ctx context.Context, aggs []Aggregate, opts ...RunOption) ([]Result, error) {
+	return Run(ctx, b, aggs, opts...)
+}
+
+// RunBudget preserves the v1 positional run signature.
+//
+// Deprecated: use Run with WithMaxSamples / WithMaxQueries.
+func (b *NNOBaseline) RunBudget(aggs []Aggregate, maxSamples int, maxQueries int64) ([]Result, error) {
+	return b.Run(context.Background(), aggs, WithMaxSamples(maxSamples), WithMaxQueries(maxQueries))
 }

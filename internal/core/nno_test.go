@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/lbs"
@@ -10,7 +11,7 @@ func TestNNOEstimatesCount(t *testing.T) {
 	db := smallService2(60, 301)
 	svc := lbs.NewService(db, lbs.Options{K: 1})
 	nno := NewNNOBaseline(svc, NNOOptions{Seed: 1})
-	res, err := nno.Run([]Aggregate{Count()}, 150, 0)
+	res, err := nno.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(150))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,12 +31,12 @@ func TestNNOMoreExpensivePerSampleThanAGG(t *testing.T) {
 	db := smallService2(100, 307)
 	svcN := lbs.NewService(db, lbs.Options{K: 1})
 	nno := NewNNOBaseline(svcN, NNOOptions{Seed: 3})
-	if _, err := nno.Run([]Aggregate{Count()}, 60, 0); err != nil {
+	if _, err := nno.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(60)); err != nil {
 		t.Fatal(err)
 	}
 	svcA := lbs.NewService(db, lbs.Options{K: 1})
 	agg := NewLRAggregator(svcA, DefaultLROptions(3))
-	if _, err := agg.Run([]Aggregate{Count()}, 60, 0); err != nil {
+	if _, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(60)); err != nil {
 		t.Fatal(err)
 	}
 	if svcN.QueryCount() <= svcA.QueryCount() {
@@ -47,7 +48,7 @@ func TestNNOBudgetStop(t *testing.T) {
 	db := smallService2(50, 311)
 	svc := lbs.NewService(db, lbs.Options{K: 1, Budget: 200})
 	nno := NewNNOBaseline(svc, NNOOptions{Seed: 5})
-	res, err := nno.Run([]Aggregate{Count()}, 0, 0)
+	res, err := nno.Run(context.Background(), []Aggregate{Count()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestNNONoAggregates(t *testing.T) {
 	db := smallService2(10, 313)
 	svc := lbs.NewService(db, lbs.Options{K: 1})
 	nno := NewNNOBaseline(svc, NNOOptions{Seed: 7})
-	if _, err := nno.Run(nil, 5, 0); err == nil {
+	if _, err := nno.Run(context.Background(), nil, WithMaxSamples(5)); err == nil {
 		t.Errorf("expected error")
 	}
 }
@@ -69,7 +70,7 @@ func TestNNOEmptyAnswer(t *testing.T) {
 	db := smallService2(30, 317)
 	svc := lbs.NewService(db, lbs.Options{K: 1, MaxRadius: 3})
 	nno := NewNNOBaseline(svc, NNOOptions{Seed: 9})
-	res, err := nno.Run([]Aggregate{Count()}, 80, 0)
+	res, err := nno.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(80))
 	if err != nil {
 		t.Fatal(err)
 	}

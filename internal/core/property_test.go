@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -169,7 +170,7 @@ func TestLREstimatorInvariantEmptyDBRegion(t *testing.T) {
 	// Estimation region = right half: almost every query is empty.
 	opts.Region = geom.NewRect(geom.Pt(50, 0), geom.Pt(100, 100))
 	agg := NewLRAggregator(svc, opts)
-	res, err := agg.Run([]Aggregate{Count()}, 200, 0)
+	res, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestLRSeedDeterminism(t *testing.T) {
 	run := func() []float64 {
 		svc := lbs.NewService(db, lbs.Options{K: 3})
 		agg := NewLRAggregator(svc, DefaultLROptions(12345))
-		res, err := agg.Run([]Aggregate{Count()}, 40, 0)
+		res, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(40))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func TestLNRSeedDeterminism(t *testing.T) {
 	run := func() float64 {
 		svc := lbs.NewService(db, lbs.Options{K: 3})
 		agg := NewLNRAggregator(svc, LNROptions{Seed: 777})
-		res, err := agg.Run([]Aggregate{Count()}, 10, 0)
+		res, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(10))
 		if err != nil {
 			t.Fatal(err)
 		}

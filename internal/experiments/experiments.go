@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -241,14 +242,14 @@ func nnoSpec() AlgoSpec {
 
 // runTraces runs an algorithm spec Runs times against fresh service
 // views and collects the estimate traces for one aggregate.
-func runTraces(cfg Config, sc *workload.Scenario, svcOpts lbs.Options, spec AlgoSpec,
+func runTraces(ctx context.Context, cfg Config, sc *workload.Scenario, svcOpts lbs.Options, spec AlgoSpec,
 	agg core.Aggregate, truth float64) (*traceSet, error) {
 
 	ts := &traceSet{name: spec.Name, truth: truth}
 	for r := 0; r < cfg.Runs; r++ {
 		seed := cfg.Seed + int64(r)*7919
 		svc := lbs.NewService(sc.DB, svcOpts)
-		res, err := runOne(svc, sc, spec, agg, seed, cfg.Budget)
+		res, err := runOne(ctx, svc, sc, spec, agg, seed, cfg.Budget)
 		if err != nil {
 			return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
 		}
@@ -259,7 +260,7 @@ func runTraces(cfg Config, sc *workload.Scenario, svcOpts lbs.Options, spec Algo
 
 // runOne executes a single run of a spec and returns the result for
 // the aggregate.
-func runOne(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
+func runOne(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 	agg core.Aggregate, seed, budget int64) (core.Result, error) {
 
 	switch spec.Kind {
@@ -270,7 +271,7 @@ func runOne(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 		if spec.Weighted {
 			opts.Sampler = sc.Grid
 		}
-		res, err := core.NewLRAggregator(svc, opts).Run([]core.Aggregate{agg}, 0, budget)
+		res, err := core.NewLRAggregator(svc, opts).Run(ctx, []core.Aggregate{agg}, core.WithMaxQueries(budget))
 		if err != nil {
 			return core.Result{}, err
 		}
@@ -282,7 +283,7 @@ func runOne(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 		if spec.Weighted {
 			opts.Sampler = sc.Grid
 		}
-		res, err := core.NewLNRAggregator(svc, opts).Run([]core.Aggregate{agg}, 0, budget)
+		res, err := core.NewLNRAggregator(svc, opts).Run(ctx, []core.Aggregate{agg}, core.WithMaxQueries(budget))
 		if err != nil {
 			return core.Result{}, err
 		}
@@ -294,7 +295,7 @@ func runOne(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 		if spec.Weighted {
 			opts.Sampler = sc.Grid
 		}
-		res, err := core.NewNNOBaseline(svc, opts).Run([]core.Aggregate{agg}, 0, budget)
+		res, err := core.NewNNOBaseline(svc, opts).Run(ctx, []core.Aggregate{agg}, core.WithMaxQueries(budget))
 		if err != nil {
 			return core.Result{}, err
 		}
@@ -305,7 +306,7 @@ func runOne(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 
 // costVsErrorFigure runs a set of algorithm specs on one aggregate and
 // produces the paper's cost-versus-error figure layout.
-func costVsErrorFigure(cfg Config, sc *workload.Scenario, svcOpts lbs.Options,
+func costVsErrorFigure(ctx context.Context, cfg Config, sc *workload.Scenario, svcOpts lbs.Options,
 	id, title string, specs []AlgoSpec, agg core.Aggregate, truth float64) (*Figure, error) {
 
 	fig := &Figure{
@@ -317,7 +318,7 @@ func costVsErrorFigure(cfg Config, sc *workload.Scenario, svcOpts lbs.Options,
 	}
 	grid := defaultErrGrid()
 	for _, spec := range specs {
-		ts, err := runTraces(cfg, sc, svcOpts, spec, agg, truth)
+		ts, err := runTraces(ctx, cfg, sc, svcOpts, spec, agg, truth)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func checkFigure(t *testing.T, fig *Figure, wantSeries int) {
 }
 
 func TestFig11(t *testing.T) {
-	fig, err := Fig11(tinyCfg())
+	fig, err := Fig11(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestFig11(t *testing.T) {
 }
 
 func TestFig12(t *testing.T) {
-	fig, err := Fig12(tinyCfg())
+	fig, err := Fig12(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFig12(t *testing.T) {
 }
 
 func TestFig13(t *testing.T) {
-	fig, err := Fig13(tinyCfg())
+	fig, err := Fig13(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFig13(t *testing.T) {
 }
 
 func TestFig14(t *testing.T) {
-	fig, err := Fig14(tinyCfg())
+	fig, err := Fig14(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig14(t *testing.T) {
 }
 
 func TestFig15(t *testing.T) {
-	fig, err := Fig15(tinyCfg())
+	fig, err := Fig15(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFig15(t *testing.T) {
 }
 
 func TestFig16(t *testing.T) {
-	fig, err := Fig16(tinyCfg())
+	fig, err := Fig16(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFig16(t *testing.T) {
 }
 
 func TestFig17(t *testing.T) {
-	fig, err := Fig17(tinyCfg())
+	fig, err := Fig17(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFig17(t *testing.T) {
 }
 
 func TestFig18(t *testing.T) {
-	fig, err := Fig18(tinyCfg())
+	fig, err := Fig18(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFig18(t *testing.T) {
 func TestFig19(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.K = 3
-	fig, err := Fig19(cfg)
+	fig, err := Fig19(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestFig19(t *testing.T) {
 }
 
 func TestFig20(t *testing.T) {
-	fig, err := Fig20(tinyCfg())
+	fig, err := Fig20(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFig20(t *testing.T) {
 }
 
 func TestFig21(t *testing.T) {
-	fig, err := Fig21(tinyCfg())
+	fig, err := Fig21(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestFig21(t *testing.T) {
 func TestTable1(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Budget = 6000
-	rows, err := Table1(cfg)
+	rows, err := Table1(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestConfigs(t *testing.T) {
 }
 
 func TestMSEDecomposition(t *testing.T) {
-	rows, err := MSEDecomposition(tinyCfg())
+	rows, err := MSEDecomposition(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

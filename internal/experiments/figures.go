@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,7 +17,7 @@ import (
 // statistics demonstrating the urban/rural skew the paper highlights
 // (cells below 1 km² in cities, hundreds of thousands of km² in rural
 // areas). Use cmd/voronoisvg for the picture itself.
-func Fig11(cfg Config) (*Figure, error) {
+func Fig11(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.StarbucksUS(cfg.N, 0, cfg.Seed)
 	d := voronoi.Compute(sc.DB, 1)
 	st := d.CellStats()
@@ -43,7 +44,7 @@ func Fig11(cfg Config) (*Figure, error) {
 // in US) versus query cost for LR-LBS-NNO, LR-LBS-AGG and LNR-LBS-AGG
 // — demonstrating the convergence/unbiasedness behaviour: both AGG
 // estimators settle on the truth quickly while NNO oscillates.
-func Fig12(cfg Config) (*Figure, error) {
+func Fig12(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USARestaurants(cfg.N, cfg.Seed)
 	truth := float64(sc.DB.Len())
 	svcOpts := lbs.Options{K: cfg.K}
@@ -56,7 +57,7 @@ func Fig12(cfg Config) (*Figure, error) {
 		Notes:  []string{fmt.Sprintf("ground truth = %.0f", truth)},
 	}
 	for _, spec := range []AlgoSpec{nnoSpec(), lrSpec(), lnrSpec()} {
-		ts, err := runTraces(cfg, sc, svcOpts, spec, core.Count(), truth)
+		ts, err := runTraces(ctx, cfg, sc, svcOpts, spec, core.Count(), truth)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +69,7 @@ func Fig12(cfg Config) (*Figure, error) {
 // Fig13 reproduces Figure 13 — the impact of the sampling strategy:
 // uniform versus census-weighted ("-US") variants of both AGG
 // estimators on COUNT(schools in US).
-func Fig13(cfg Config) (*Figure, error) {
+func Fig13(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USASchools(cfg.N, cfg.Seed)
 	truth := float64(sc.DB.Len())
 	lrUS := lrSpec()
@@ -77,36 +78,36 @@ func Fig13(cfg Config) (*Figure, error) {
 	lnrUS := lnrSpec()
 	lnrUS.Name = "LNR-LBS-AGG-US"
 	lnrUS.Weighted = true
-	return costVsErrorFigure(cfg, sc, lbs.Options{K: cfg.K},
+	return costVsErrorFigure(ctx, cfg, sc, lbs.Options{K: cfg.K},
 		"fig13", "Impact of sampling strategy: COUNT(schools)",
 		[]AlgoSpec{lrSpec(), lrUS, lnrSpec(), lnrUS}, core.Count(), truth)
 }
 
 // Fig14 reproduces Figure 14 — query cost versus relative error for
 // COUNT(schools in US) across the three algorithms.
-func Fig14(cfg Config) (*Figure, error) {
+func Fig14(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USASchools(cfg.N, cfg.Seed)
 	truth := float64(sc.DB.Len())
-	return costVsErrorFigure(cfg, sc, lbs.Options{K: cfg.K},
+	return costVsErrorFigure(ctx, cfg, sc, lbs.Options{K: cfg.K},
 		"fig14", "COUNT(schools)",
 		[]AlgoSpec{nnoSpec(), lrSpec(), lnrSpec()}, core.Count(), truth)
 }
 
 // Fig15 reproduces Figure 15 — COUNT(restaurants in US).
-func Fig15(cfg Config) (*Figure, error) {
+func Fig15(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USARestaurants(cfg.N, cfg.Seed)
 	truth := float64(sc.DB.Len())
-	return costVsErrorFigure(cfg, sc, lbs.Options{K: cfg.K},
+	return costVsErrorFigure(ctx, cfg, sc, lbs.Options{K: cfg.K},
 		"fig15", "COUNT(restaurants)",
 		[]AlgoSpec{nnoSpec(), lrSpec(), lnrSpec()}, core.Count(), truth)
 }
 
 // Fig16 reproduces Figure 16 — SUM(enrollment) over US schools.
-func Fig16(cfg Config) (*Figure, error) {
+func Fig16(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USASchools(cfg.N, cfg.Seed)
 	agg := core.SumAttr("enrollment")
 	truth := sc.DB.GroundTruth(func(t *lbs.Tuple) float64 { return t.Attr("enrollment") }, nil)
-	return costVsErrorFigure(cfg, sc, lbs.Options{K: cfg.K},
+	return costVsErrorFigure(ctx, cfg, sc, lbs.Options{K: cfg.K},
 		"fig16", "SUM(enrollment) in schools",
 		[]AlgoSpec{nnoSpec(), lrSpec(), lnrSpec()}, agg, truth)
 }
@@ -115,7 +116,7 @@ func Fig16(cfg Config) (*Figure, error) {
 // TX: a sub-region aggregate computed as SUM/COUNT with the
 // estimation region restricted to the metro box. Because AVG is a
 // ratio, the traces track the running SUM(rating)/COUNT ratio.
-func Fig17(cfg Config) (*Figure, error) {
+func Fig17(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USARestaurants(cfg.N*4, cfg.Seed) // denser so the metro box is populated
 	austin := workload.MetroBox(sc.DB, 120)          // the synthetic Austin, TX
 	inBox := func(t *lbs.Tuple) bool { return austin.Contains(t.Loc) }
@@ -149,7 +150,7 @@ func Fig17(cfg Config) (*Figure, error) {
 		for r := 0; r < cfg.Runs; r++ {
 			seed := cfg.Seed + int64(r)*7919
 			svc := lbs.NewService(sc.DB, lbs.Options{K: cfg.K})
-			trace, err := runRatio(svc, sc, spec, sumAgg, cntAgg, austin, seed, cfg.Budget)
+			trace, err := runRatio(ctx, svc, sc, spec, sumAgg, cntAgg, austin, seed, cfg.Budget)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
 			}
@@ -162,7 +163,7 @@ func Fig17(cfg Config) (*Figure, error) {
 
 // runRatio runs one ratio (AVG) estimation restricted to a region and
 // returns the ratio trace.
-func runRatio(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
+func runRatio(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 	num, den core.Aggregate, region geom.Rect, seed, budget int64) ([]core.TracePoint, error) {
 
 	aggs := []core.Aggregate{num, den}
@@ -173,7 +174,7 @@ func runRatio(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 		opts := spec.LR
 		opts.Seed = seed
 		opts.Region = region
-		results, err = core.NewLRAggregator(svc, opts).Run(aggs, 0, budget)
+		results, err = core.NewLRAggregator(svc, opts).Run(ctx, aggs, core.WithMaxQueries(budget))
 	case AlgoLNR:
 		opts := spec.LNR
 		opts.Seed = seed
@@ -184,14 +185,14 @@ func runRatio(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 		aggsLNR := []core.Aggregate{num, den}
 		aggsLNR[0].NeedsLocation = true
 		aggsLNR[1].NeedsLocation = true
-		results, err = core.NewLNRAggregator(svc, opts).Run(aggsLNR, 0, budget)
+		results, err = core.NewLNRAggregator(svc, opts).Run(ctx, aggsLNR, core.WithMaxQueries(budget))
 	case AlgoNNO:
 		opts := spec.NNO
 		opts.Seed = seed
 		// NNO has no region machinery in [10]; approximate by sampling
 		// inside the region only.
 		opts.Region = region
-		results, err = core.NewNNOBaseline(svc, opts).Run(aggs, 0, budget)
+		results, err = core.NewNNOBaseline(svc, opts).Run(ctx, aggs, core.WithMaxQueries(budget))
 	}
 	if err != nil {
 		return nil, err
@@ -201,7 +202,7 @@ func runRatio(svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
 
 // Fig18 reproduces Figure 18 — query cost to reach relative error 0.1
 // versus database size (25 % … 100 % subsamples of the schools set).
-func Fig18(cfg Config) (*Figure, error) {
+func Fig18(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USASchools(cfg.N, cfg.Seed)
 	fracs := []float64{0.25, 0.5, 0.75, 1.0}
 	fig := &Figure{
@@ -217,7 +218,7 @@ func Fig18(cfg Config) (*Figure, error) {
 		sub := &workload.Scenario{Name: sc.Name, Bounds: sc.Bounds, DB: db, Grid: sc.Grid}
 		truth := float64(db.Len())
 		for si, spec := range specs {
-			ts, err := runTraces(cfg, sub, lbs.Options{K: cfg.K}, spec, core.Count(), truth)
+			ts, err := runTraces(ctx, cfg, sub, lbs.Options{K: cfg.K}, spec, core.Count(), truth)
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +234,7 @@ func Fig18(cfg Config) (*Figure, error) {
 // Fig19 reproduces Figure 19 — query cost to reach relative error 0.1
 // versus the number of exploited results: fixed h = 1…k versus the
 // adaptive strategy of §3.2.3, for both AGG estimators.
-func Fig19(cfg Config) (*Figure, error) {
+func Fig19(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USASchools(cfg.N, cfg.Seed)
 	truth := float64(sc.DB.Len())
 	svcOpts := lbs.Options{K: cfg.K}
@@ -243,7 +244,7 @@ func Fig19(cfg Config) (*Figure, error) {
 		xs = append(xs, float64(h))
 		lr := lrSpec()
 		lr.LR.FixedH = h
-		ts, err := runTraces(cfg, sc, svcOpts, lr, core.Count(), truth)
+		ts, err := runTraces(ctx, cfg, sc, svcOpts, lr, core.Count(), truth)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +252,7 @@ func Fig19(cfg Config) (*Figure, error) {
 
 		lnr := lnrSpec()
 		lnr.LNR.H = h
-		ts, err = runTraces(cfg, sc, svcOpts, lnr, core.Count(), truth)
+		ts, err = runTraces(ctx, cfg, sc, svcOpts, lnr, core.Count(), truth)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +261,7 @@ func Fig19(cfg Config) (*Figure, error) {
 	// Adaptive (x plotted one past k, as the paper's "Adaptive" tick).
 	xs = append(xs, float64(cfg.K+1))
 	lrA := lrSpec() // FixedH = 0 → adaptive
-	ts, err := runTraces(cfg, sc, svcOpts, lrA, core.Count(), truth)
+	ts, err := runTraces(ctx, cfg, sc, svcOpts, lrA, core.Count(), truth)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +269,7 @@ func Fig19(cfg Config) (*Figure, error) {
 	// LNR has no adaptive-h analogue in the paper; repeat h=1 as its
 	// reference point.
 	lnrA := lnrSpec()
-	ts, err = runTraces(cfg, sc, svcOpts, lnrA, core.Count(), truth)
+	ts, err = runTraces(ctx, cfg, sc, svcOpts, lnrA, core.Count(), truth)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +289,7 @@ func Fig19(cfg Config) (*Figure, error) {
 // Fig20 reproduces Figure 20 — the ablation of the error-reduction
 // strategies: LR-LBS-AGG-0 (none) through LR-LBS-AGG (all four),
 // added in the paper's order.
-func Fig20(cfg Config) (*Figure, error) {
+func Fig20(ctx context.Context, cfg Config) (*Figure, error) {
 	sc := workload.USASchools(cfg.N, cfg.Seed)
 	truth := float64(sc.DB.Len())
 	variants := []AlgoSpec{
@@ -298,7 +299,7 @@ func Fig20(cfg Config) (*Figure, error) {
 		{Name: "LR-LBS-AGG-3", Kind: AlgoLR, LR: core.LROptions{FastInit: true, UseHistory: true}},
 		{Name: "LR-LBS-AGG", Kind: AlgoLR, LR: core.DefaultLROptions(0)},
 	}
-	return costVsErrorFigure(cfg, sc, lbs.Options{K: cfg.K},
+	return costVsErrorFigure(ctx, cfg, sc, lbs.Options{K: cfg.K},
 		"fig20", "Query savings of error-reduction strategies (cumulative)",
 		variants, core.Count(), truth)
 }
@@ -308,7 +309,7 @@ func Fig20(cfg Config) (*Figure, error) {
 // treated as LNR (no obfuscation — the "Google Places" curve) versus
 // an obfuscating social network (the "WeChat" curve). Distances are
 // reported in metres (plane units are km).
-func Fig21(cfg Config) (*Figure, error) {
+func Fig21(ctx context.Context, cfg Config) (*Figure, error) {
 	targets := cfg.Runs * 8 // paper: 200 targets at full scale
 	if targets > cfg.N/2 {
 		targets = cfg.N / 2
@@ -327,7 +328,7 @@ func Fig21(cfg Config) (*Figure, error) {
 		{"Google Places (LNR)", workload.StarbucksUS(cfg.N, 0, cfg.Seed)},
 		{"WeChat", workload.WeChatChina(cfg.N, cfg.Seed)},
 	} {
-		errsM, err := localizationErrors(tc.sc, targets, cfg.Seed)
+		errsM, err := localizationErrors(ctx, tc.sc, targets, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -355,7 +356,7 @@ func Fig21(cfg Config) (*Figure, error) {
 // localizationErrors localizes `targets` random tuples over an LNR
 // view and returns the distances (in metres) between inferred and
 // true positions.
-func localizationErrors(sc *workload.Scenario, targets int, seed int64) ([]float64, error) {
+func localizationErrors(ctx context.Context, sc *workload.Scenario, targets int, seed int64) ([]float64, error) {
 	svc := lbs.NewService(sc.DB, lbs.Options{K: 8})
 	agg := core.NewLNRAggregator(svc, core.LNROptions{
 		Seed:    seed,
@@ -370,7 +371,7 @@ func localizationErrors(sc *workload.Scenario, targets int, seed int64) ([]float
 	for i := 0; i < n && len(errs) < targets; i += step {
 		tp := sc.DB.Tuple(i)
 		anchor := sc.DB.EffectiveLoc(i)
-		got, err := agg.Localize(tp.ID, anchor)
+		got, err := agg.Localize(ctx, tp.ID, anchor)
 		if err != nil {
 			continue // target skipped (degenerate cell); reported via counts
 		}
@@ -393,7 +394,7 @@ type Table1Row struct {
 // counts over a Google-Places-like LR service, an Austin sub-region
 // count, and user counts plus gender ratios over WeChat/Weibo-like
 // LNR services, each at the paper's query budget (scaled by cfg).
-func Table1(cfg Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	var rows []Table1Row
 
 	// COUNT(Starbucks in US) with pass-through selection, budget 5000.
@@ -402,7 +403,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	lrOpts := core.DefaultLROptions(cfg.Seed)
 	lrOpts.Filter = lbs.NameFilter("Starbucks")
 	lrOpts.Sampler = sb.Grid
-	res, err := core.NewLRAggregator(svc, lrOpts).Run([]core.Aggregate{core.Count()}, 0, cfg.Budget/5)
+	res, err := core.NewLRAggregator(svc, lrOpts).Run(ctx, []core.Aggregate{core.Count()}, core.WithMaxQueries(cfg.Budget/5))
 	if err != nil {
 		return nil, err
 	}
@@ -423,7 +424,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	lrOpts2.Filter = lbs.CategoryFilter("restaurant")
 	lrOpts2.Region = austin
 	svc2 := lbs.NewService(sb.DB, lbs.Options{K: cfg.K})
-	res2, err := core.NewLRAggregator(svc2, lrOpts2).Run([]core.Aggregate{openSunday}, 0, cfg.Budget/5)
+	res2, err := core.NewLRAggregator(svc2, lrOpts2).Run(ctx, []core.Aggregate{openSunday}, core.WithMaxQueries(cfg.Budget/5))
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +449,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		svcL := lbs.NewService(tc.sc.DB, lbs.Options{K: tc.k})
 		lnr := core.NewLNRAggregator(svcL, core.LNROptions{Seed: cfg.Seed + 9, Sampler: tc.sc.Grid})
 		aggs := []core.Aggregate{core.Count(), core.CountTag("gender", "m")}
-		resL, err := lnr.Run(aggs, 0, cfg.Budget*2/5)
+		resL, err := lnr.Run(ctx, aggs, core.WithMaxQueries(cfg.Budget*2/5))
 		if err != nil {
 			return nil, err
 		}

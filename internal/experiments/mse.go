@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ type MSERow struct {
 // into bias² + variance, with confidence-interval coverage — the
 // quantitative substantiation of the paper's unbiasedness claims
 // (LR-LBS-AGG unbiased; LNR-LBS-AGG bias bounded; NNO visibly biased).
-func MSEDecomposition(cfg Config) ([]MSERow, error) {
+func MSEDecomposition(ctx context.Context, cfg Config) ([]MSERow, error) {
 	sc := workload.USASchools(cfg.N, cfg.Seed)
 	truth := float64(sc.DB.Len())
 	specs := []AlgoSpec{lrSpec(), lnrSpec(), nnoSpec()}
@@ -32,7 +33,7 @@ func MSEDecomposition(cfg Config) ([]MSERow, error) {
 		for r := 0; r < cfg.Runs; r++ {
 			seed := cfg.Seed + int64(r)*7919
 			svc := lbs.NewService(sc.DB, lbs.Options{K: cfg.K})
-			res, err := runOne(svc, sc, spec, core.Count(), seed, cfg.Budget)
+			res, err := runOne(ctx, svc, sc, spec, core.Count(), seed, cfg.Budget)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
 			}

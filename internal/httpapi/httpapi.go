@@ -17,12 +17,14 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/lbs"
@@ -123,7 +125,7 @@ func (s *Server) handleLR(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	recs, err := s.svc.QueryLR(p, sel.filter())
+	recs, err := s.svc.QueryLR(r.Context(), p, sel.filter())
 	if err != nil {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
@@ -146,7 +148,7 @@ func (s *Server) handleLNR(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	recs, err := s.svc.QueryLNR(p, sel.filter())
+	recs, err := s.svc.QueryLNR(r.Context(), p, sel.filter())
 	if err != nil {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
@@ -174,16 +176,32 @@ type Client struct {
 	queries atomic.Int64
 }
 
+// metaTimeout bounds the construction-time /v1/meta probe when the
+// caller's context carries no deadline of its own and the HTTP client
+// has no Timeout, so a dead gateway cannot hang NewClient forever.
+const metaTimeout = 10 * time.Second
+
 // NewClient connects to a server at baseURL (e.g. the URL of an
 // httptest server or a deployed gateway). sel is the fixed declarative
 // selection sent with every query. httpClient may be nil for
-// http.DefaultClient.
-func NewClient(baseURL string, sel Selection, httpClient *http.Client) (*Client, error) {
+// http.DefaultClient. The /v1/meta probe honors ctx (deadline and
+// cancellation); without a deadline from either ctx or the client, a
+// default timeout applies.
+func NewClient(ctx context.Context, baseURL string, sel Selection, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
 	c := &Client{base: baseURL, hc: httpClient, sel: sel}
-	resp, err := httpClient.Get(baseURL + "/v1/meta")
+	if _, ok := ctx.Deadline(); !ok && httpClient.Timeout == 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, metaTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/meta", nil)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: meta: %w", err)
+	}
+	resp, err := httpClient.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: meta: %w", err)
 	}
@@ -206,8 +224,9 @@ func (c *Client) K() int { return c.k }
 // QueryCount implements core.Oracle.
 func (c *Client) QueryCount() int64 { return c.queries.Load() }
 
-// get performs one wire query.
-func (c *Client) get(endpoint string, p geom.Point) (*queryResponse, error) {
+// get performs one wire query; the request is built with ctx so the
+// caller can cancel it in flight.
+func (c *Client) get(ctx context.Context, endpoint string, p geom.Point) (*queryResponse, error) {
 	v := url.Values{}
 	v.Set("x", strconv.FormatFloat(p.X, 'g', -1, 64))
 	v.Set("y", strconv.FormatFloat(p.Y, 'g', -1, 64))
@@ -217,7 +236,11 @@ func (c *Client) get(endpoint string, p geom.Point) (*queryResponse, error) {
 	if c.sel.Category != "" {
 		v.Set("category", c.sel.Category)
 	}
-	resp, err := c.hc.Get(c.base + endpoint + "?" + v.Encode())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+endpoint+"?"+v.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: query: %w", err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: query: %w", err)
 	}
@@ -241,11 +264,11 @@ func (c *Client) get(endpoint string, p geom.Point) (*queryResponse, error) {
 // QueryLR implements core.Oracle. filter must be nil: selections are
 // fixed per client (they travel as URL parameters; functional filters
 // cannot cross the network).
-func (c *Client) QueryLR(p geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
+func (c *Client) QueryLR(ctx context.Context, p geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
 	if filter != nil {
 		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
 	}
-	out, err := c.get("/v1/lr", p)
+	out, err := c.get(ctx, "/v1/lr", p)
 	if err != nil {
 		return nil, err
 	}
@@ -267,11 +290,11 @@ func (c *Client) QueryLR(p geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error
 }
 
 // QueryLNR implements core.Oracle (same filter restriction as QueryLR).
-func (c *Client) QueryLNR(p geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error) {
+func (c *Client) QueryLNR(ctx context.Context, p geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error) {
 	if filter != nil {
 		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
 	}
-	out, err := c.get("/v1/lnr", p)
+	out, err := c.get(ctx, "/v1/lnr", p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http/httptest"
@@ -37,7 +38,7 @@ func TestMetaRoundTrip(t *testing.T) {
 	svc := testService(20, 4, 0, 1)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
-	c, err := NewClient(ts.URL, Selection{}, nil)
+	c, err := NewClient(context.Background(), ts.URL, Selection{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,16 +54,16 @@ func TestQueryLRRoundTrip(t *testing.T) {
 	svc := testService(50, 3, 0, 2)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
-	c, err := NewClient(ts.URL, Selection{}, nil)
+	c, err := NewClient(context.Background(), ts.URL, Selection{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q := geom.Pt(50, 50)
-	got, err := c.QueryLR(q, nil)
+	got, err := c.QueryLR(context.Background(), q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := svc.QueryLR(q, nil)
+	want, err := svc.QueryLR(context.Background(), q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,8 +87,8 @@ func TestQueryLNRHidesLocations(t *testing.T) {
 	svc := testService(30, 3, 0, 3)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
-	c, _ := NewClient(ts.URL, Selection{}, nil)
-	got, err := c.QueryLNR(geom.Pt(30, 30), nil)
+	c, _ := NewClient(context.Background(), ts.URL, Selection{}, nil)
+	got, err := c.QueryLNR(context.Background(), geom.Pt(30, 30), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +114,8 @@ func TestSelectionOverWire(t *testing.T) {
 	svc := testService(60, 10, 0, 4)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
-	c, _ := NewClient(ts.URL, Selection{Category: "school"}, nil)
-	got, err := c.QueryLR(geom.Pt(50, 50), nil)
+	c, _ := NewClient(context.Background(), ts.URL, Selection{Category: "school"}, nil)
+	got, err := c.QueryLR(context.Background(), geom.Pt(50, 50), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestPerCallFilterRejected(t *testing.T) {
 	svc := testService(10, 2, 0, 5)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
-	c, _ := NewClient(ts.URL, Selection{}, nil)
-	if _, err := c.QueryLR(geom.Pt(1, 1), func(*lbs.Tuple) bool { return true }); err == nil {
+	c, _ := NewClient(context.Background(), ts.URL, Selection{}, nil)
+	if _, err := c.QueryLR(context.Background(), geom.Pt(1, 1), func(*lbs.Tuple) bool { return true }); err == nil {
 		t.Errorf("functional filter should be rejected")
 	}
-	if _, err := c.QueryLNR(geom.Pt(1, 1), func(*lbs.Tuple) bool { return true }); err == nil {
+	if _, err := c.QueryLNR(context.Background(), geom.Pt(1, 1), func(*lbs.Tuple) bool { return true }); err == nil {
 		t.Errorf("functional filter should be rejected (LNR)")
 	}
 }
@@ -145,13 +146,13 @@ func TestBudgetExhaustionOverWire(t *testing.T) {
 	svc := testService(10, 2, 3, 6)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
-	c, _ := NewClient(ts.URL, Selection{}, nil)
+	c, _ := NewClient(context.Background(), ts.URL, Selection{}, nil)
 	for i := 0; i < 3; i++ {
-		if _, err := c.QueryLR(geom.Pt(1, 1), nil); err != nil {
+		if _, err := c.QueryLR(context.Background(), geom.Pt(1, 1), nil); err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
 	}
-	_, err := c.QueryLR(geom.Pt(1, 1), nil)
+	_, err := c.QueryLR(context.Background(), geom.Pt(1, 1), nil)
 	if !errors.Is(err, lbs.ErrBudgetExhausted) {
 		t.Fatalf("want ErrBudgetExhausted over the wire, got %v", err)
 	}
@@ -186,12 +187,12 @@ func TestEndToEndEstimationOverHTTP(t *testing.T) {
 	svc := testService(80, 5, 0, 8)
 	ts := httptest.NewServer(NewServer(svc))
 	defer ts.Close()
-	client, err := NewClient(ts.URL, Selection{}, ts.Client())
+	client, err := NewClient(context.Background(), ts.URL, Selection{}, ts.Client())
 	if err != nil {
 		t.Fatal(err)
 	}
 	agg := core.NewLRAggregator(client, core.DefaultLROptions(9))
-	res, err := agg.Run([]core.Aggregate{core.Count()}, 150, 0)
+	res, err := agg.Run(context.Background(), []core.Aggregate{core.Count()}, core.WithMaxSamples(150))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,11 +208,36 @@ func TestEndToEndEstimationOverHTTP(t *testing.T) {
 	}
 	// LNR over HTTP as well.
 	lnr := core.NewLNRAggregator(client, core.LNROptions{Seed: 10})
-	resL, err := lnr.Run([]core.Aggregate{core.Count()}, 15, 0)
+	resL, err := lnr.Run(context.Background(), []core.Aggregate{core.Count()}, core.WithMaxSamples(15))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resL[0].Samples != 15 {
 		t.Errorf("LNR over HTTP: %+v", resL[0])
+	}
+}
+
+// TestClientContextCancellation: both the construction-time meta probe
+// and in-flight queries must honor context cancellation.
+func TestClientContextCancellation(t *testing.T) {
+	svc := testService(20, 3, 0, 9)
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewClient(canceled, ts.URL, Selection{}, nil); err == nil {
+		t.Fatal("NewClient with canceled context succeeded")
+	}
+
+	c, err := NewClient(context.Background(), ts.URL, Selection{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryLR(canceled, geom.Pt(1, 1), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query error = %v, want context.Canceled", err)
+	}
+	if _, err := c.QueryLR(context.Background(), geom.Pt(1, 1), nil); err != nil {
+		t.Fatalf("live query after canceled one: %v", err)
 	}
 }

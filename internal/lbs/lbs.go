@@ -26,6 +26,7 @@
 package lbs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -346,8 +347,14 @@ func NameFilter(name string) Filter {
 	return func(t *Tuple) bool { return t.Name == name }
 }
 
-// charge consumes one unit of budget and meters the rate limiter.
-func (s *Service) charge() error {
+// charge checks for cancellation, consumes one unit of budget and
+// meters the rate limiter. The simulator answers instantly, so the
+// context can only be observed between queries; network adapters
+// additionally cancel the request in flight.
+func (s *Service) charge(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := s.queries.Add(1)
 	if s.opts.Budget > 0 && n > s.opts.Budget {
 		s.queries.Add(-1)
@@ -432,8 +439,8 @@ type LRRecord struct {
 // QueryLR answers a location-returned kNN query: the top-k tuples
 // nearest q (per the service's ranking), each with its location. An
 // empty non-nil slice means "no tuple within the coverage radius".
-func (s *Service) QueryLR(q geom.Point, filter Filter) ([]LRRecord, error) {
-	if err := s.charge(); err != nil {
+func (s *Service) QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]LRRecord, error) {
+	if err := s.charge(ctx); err != nil {
 		return nil, err
 	}
 	idxs := s.rawQuery(q, filter)
@@ -466,8 +473,8 @@ type LNRRecord struct {
 
 // QueryLNR answers a rank-only kNN query (the WeChat / Sina Weibo
 // model): tuple IDs and non-location attributes in rank order.
-func (s *Service) QueryLNR(q geom.Point, filter Filter) ([]LNRRecord, error) {
-	if err := s.charge(); err != nil {
+func (s *Service) QueryLNR(ctx context.Context, q geom.Point, filter Filter) ([]LNRRecord, error) {
+	if err := s.charge(ctx); err != nil {
 		return nil, err
 	}
 	idxs := s.rawQuery(q, filter)

@@ -1,6 +1,7 @@
 package lbs
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -77,7 +78,7 @@ func TestDuplicateIDPanics(t *testing.T) {
 
 func TestQueryLRBasic(t *testing.T) {
 	svc := NewService(testDB(t), Options{K: 2})
-	res, err := svc.QueryLR(geom.Pt(0, 0), nil)
+	res, err := svc.QueryLR(context.Background(), geom.Pt(0, 0), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestQueryLRBasic(t *testing.T) {
 
 func TestQueryLNRHidesLocation(t *testing.T) {
 	svc := NewService(testDB(t), Options{K: 3})
-	res, err := svc.QueryLNR(geom.Pt(5.2, 5), nil)
+	res, err := svc.QueryLNR(context.Background(), geom.Pt(5.2, 5), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestQueryLNRHidesLocation(t *testing.T) {
 
 func TestServerSideFilter(t *testing.T) {
 	svc := NewService(testDB(t), Options{K: 10})
-	res, err := svc.QueryLR(geom.Pt(0, 0), CategoryFilter("school"))
+	res, err := svc.QueryLR(context.Background(), geom.Pt(0, 0), CategoryFilter("school"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestServerSideFilter(t *testing.T) {
 			t.Errorf("filter leak: %+v", r)
 		}
 	}
-	res, err = svc.QueryLR(geom.Pt(0, 0), NameFilter("Starbucks"))
+	res, err = svc.QueryLR(context.Background(), geom.Pt(0, 0), NameFilter("Starbucks"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,14 +139,14 @@ func TestServerSideFilter(t *testing.T) {
 
 func TestMaxRadius(t *testing.T) {
 	svc := NewService(testDB(t), Options{K: 5, MaxRadius: 1.0})
-	res, err := svc.QueryLR(geom.Pt(0, 9), nil) // nothing within 1.0
+	res, err := svc.QueryLR(context.Background(), geom.Pt(0, 9), nil) // nothing within 1.0
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res) != 0 {
 		t.Errorf("expected empty answer beyond dmax: %+v", res)
 	}
-	res, _ = svc.QueryLR(geom.Pt(1.3, 1), nil)
+	res, _ = svc.QueryLR(context.Background(), geom.Pt(1.3, 1), nil)
 	if len(res) != 1 || res[0].ID != 1 {
 		t.Errorf("within dmax: %+v", res)
 	}
@@ -154,11 +155,11 @@ func TestMaxRadius(t *testing.T) {
 func TestBudget(t *testing.T) {
 	svc := NewService(testDB(t), Options{K: 1, Budget: 2})
 	for i := 0; i < 2; i++ {
-		if _, err := svc.QueryLR(geom.Pt(1, 1), nil); err != nil {
+		if _, err := svc.QueryLR(context.Background(), geom.Pt(1, 1), nil); err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
 	}
-	if _, err := svc.QueryLNR(geom.Pt(1, 1), nil); !errors.Is(err, ErrBudgetExhausted) {
+	if _, err := svc.QueryLNR(context.Background(), geom.Pt(1, 1), nil); !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("want ErrBudgetExhausted, got %v", err)
 	}
 	if svc.QueryCount() != 2 {
@@ -183,7 +184,7 @@ func TestUnlimitedBudget(t *testing.T) {
 func TestVirtualDuration(t *testing.T) {
 	svc := NewService(testDB(t), Options{K: 1})
 	for i := 0; i < 150; i++ {
-		if _, err := svc.QueryLR(geom.Pt(1, 1), nil); err != nil {
+		if _, err := svc.QueryLR(context.Background(), geom.Pt(1, 1), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -286,7 +287,7 @@ func TestProminenceRanking(t *testing.T) {
 	db := NewDatabase(bounds, tuples)
 	// Distance ranking: tuple 1 first from (5.1, 5).
 	dist := NewService(db, Options{K: 2})
-	res, _ := dist.QueryLR(geom.Pt(5.1, 5), nil)
+	res, _ := dist.QueryLR(context.Background(), geom.Pt(5.1, 5), nil)
 	if res[0].ID != 1 {
 		t.Fatalf("distance rank: %+v", res)
 	}
@@ -295,7 +296,7 @@ func TestProminenceRanking(t *testing.T) {
 		K: 2, Rank: RankByProminence,
 		ProminenceAttr: "pop", ProminenceWeight: 0.1,
 	})
-	res, _ = prom.QueryLR(geom.Pt(5.1, 5), nil)
+	res, _ = prom.QueryLR(context.Background(), geom.Pt(5.1, 5), nil)
 	if res[0].ID != 2 {
 		t.Fatalf("prominence rank: %+v", res)
 	}
@@ -328,7 +329,7 @@ func TestConcurrentQueries(t *testing.T) {
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 100; i++ {
-				if _, err := svc.QueryLR(geom.Pt(float64(i%10), 5), nil); err != nil {
+				if _, err := svc.QueryLR(context.Background(), geom.Pt(float64(i%10), 5), nil); err != nil {
 					t.Error(err)
 					return
 				}

@@ -1,6 +1,7 @@
 package lbs
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -98,7 +99,7 @@ func TestServiceWithLimiter(t *testing.T) {
 	rl := NewRateLimiter(10, time.Hour)
 	svc := NewService(db, Options{K: 1, Limiter: rl})
 	for i := 0; i < 25; i++ {
-		if _, err := svc.QueryLR(geom.Pt(1, 1), nil); err != nil {
+		if _, err := svc.QueryLR(context.Background(), geom.Pt(1, 1), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -109,7 +110,7 @@ func TestServiceWithLimiter(t *testing.T) {
 	}
 	// Without a limiter the wait is zero.
 	svc2 := NewService(db, Options{K: 1})
-	if _, err := svc2.QueryLR(geom.Pt(1, 1), nil); err != nil {
+	if _, err := svc2.QueryLR(context.Background(), geom.Pt(1, 1), nil); err != nil {
 		t.Fatal(err)
 	}
 	if svc2.VirtualWaited() != 0 {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -123,7 +124,7 @@ func TestStarbucksUS(t *testing.T) {
 	// Selection pass-through sanity: a service filtered on the name
 	// sees exactly the Starbucks subset.
 	svc := lbs.NewService(s.DB, lbs.Options{K: 5})
-	res, err := svc.QueryLR(s.Bounds.Center(), lbs.NameFilter("Starbucks"))
+	res, err := svc.QueryLR(context.Background(), s.Bounds.Center(), lbs.NameFilter("Starbucks"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,32 +23,78 @@
 //   - NewNNOBaseline — the prior-art LR-LBS-NNO estimator (Dalvi et
 //     al., KDD 2011), provided as the evaluation baseline.
 //
-// Estimation drivers take Aggregate specs (Count, SumAttr, CountTag,
+// # Estimation sessions (API v2)
+//
+// All three algorithms implement the Estimator interface — a source
+// of i.i.d. point samples — and execute through one shared,
+// context-aware run driver. A run is configured with functional
+// options instead of positional limits:
+//
+//   - WithMaxSamples(n) / WithMaxQueries(n) — hard budget bounds;
+//   - WithTargetCI(rel) — stop once the 95 % confidence half-width of
+//     every aggregate falls below rel × |estimate|;
+//   - WithProgress(fn) — stream a TracePoint per aggregate after every
+//     completed sample;
+//   - WithParallelism(n) — draw samples from n concurrent workers
+//     (independent estimator forks) and merge their accumulator
+//     states; against a latency-bound remote service the wall-clock
+//     time shrinks almost linearly in n.
+//
+// Every query path takes a context.Context: canceling it stops the
+// run gracefully and returns the Results of the samples completed so
+// far, and remote adapters cancel their in-flight HTTP requests.
+//
+// Estimation runs take Aggregate specs (Count, SumAttr, CountTag,
 // CountWhere, ...) and return Results with Bessel-corrected standard
 // errors, confidence intervals and full estimate-versus-cost traces.
 //
 // # Bring your own service
 //
-// The estimators run against the Service type, which this library
-// also implements as an in-process simulator (NewService over a
-// NewDatabase) faithful to real interface constraints: top-k caps,
+// The estimators run against the Oracle interface, which this library
+// implements both as an in-process simulator (NewService over a
+// NewDatabase) faithful to real interface constraints — top-k caps,
 // maximum coverage radii, query budgets, server-side filters,
-// location obfuscation and prominence ranking. To target a real LBS,
-// implement a thin adapter that forwards QueryLR/QueryLNR to the
-// provider's API and construct the estimators over it.
+// location obfuscation and prominence ranking — and as an HTTP client
+// adapter (NewHTTPClient). To target a real LBS, implement a thin
+// adapter that forwards QueryLR/QueryLNR to the provider's API and
+// construct the estimators over it; honor the context so runs stay
+// cancellable.
 //
 // # Quick start
 //
 //	db := lbsagg.NewDatabase(bounds, tuples)
 //	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 10})
 //	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
-//	res, err := agg.Run([]lbsagg.Aggregate{lbsagg.Count()}, 0, 5000)
+//	res, err := agg.Run(ctx, []lbsagg.Aggregate{lbsagg.Count()},
+//		lbsagg.WithMaxQueries(5000),
+//		lbsagg.WithParallelism(8))
 //
 // See examples/ for complete programs and internal/experiments for
 // the reproduction of every figure and table of the paper.
+//
+// # MIGRATION from the v1 API
+//
+// v2 threads context.Context through the whole query path and moves
+// run limits into options. Old → new call sites:
+//
+//	agg.Run(aggs, maxSamples, maxQueries)
+//	  → agg.Run(ctx, aggs, lbsagg.WithMaxSamples(maxSamples),
+//	        lbsagg.WithMaxQueries(maxQueries))
+//	  → agg.RunBudget(aggs, maxSamples, maxQueries)   // deprecated shim,
+//	                                                  // one release only
+//	svc.QueryLR(q, filter)      → svc.QueryLR(ctx, q, filter)
+//	svc.QueryLNR(q, filter)     → svc.QueryLNR(ctx, q, filter)
+//	agg.Step(aggs)              → agg.Step(ctx, aggs)
+//	agg.Localize(id, anchor)    → agg.Localize(ctx, id, anchor)
+//	NewHTTPClient(url, sel, hc) → NewHTTPClient(ctx, url, sel, hc)
+//
+// Custom Oracle implementations must add the ctx parameter to both
+// query methods; custom estimators implement Estimator (Step, Service,
+// Fork) and inherit the shared Driver.
 package lbsagg
 
 import (
+	"context"
 	"net/http"
 
 	"repro/internal/core"
@@ -135,9 +181,10 @@ func NewHTTPServer(svc *Service) http.Handler { return httpapi.NewServer(svc) }
 
 // NewHTTPClient connects to an HTTP-exposed service and returns an
 // Oracle the estimators can run against — the template for adapting
-// real provider APIs.
-func NewHTTPClient(baseURL string, sel HTTPSelection, hc *http.Client) (Oracle, error) {
-	return httpapi.NewClient(baseURL, sel, hc)
+// real provider APIs. The construction-time metadata probe honors
+// ctx; queries issued later carry the per-run context.
+func NewHTTPClient(ctx context.Context, baseURL string, sel HTTPSelection, hc *http.Client) (Oracle, error) {
+	return httpapi.NewClient(ctx, baseURL, sel, hc)
 }
 
 // Estimator types.
@@ -162,6 +209,29 @@ type (
 	LNRAggregator = core.LNRAggregator
 	// NNOBaseline is Algorithm LR-LBS-NNO.
 	NNOBaseline = core.NNOBaseline
+	// Estimator is the sample-source interface all three algorithms
+	// implement; custom algorithms that implement it plug into the
+	// same run driver.
+	Estimator = core.Estimator
+	// Driver executes any Estimator with budgets, traces, early
+	// stopping and optional parallelism.
+	Driver = core.Driver
+	// RunOption configures an estimation run.
+	RunOption = core.RunOption
+)
+
+// Run options for estimation sessions (see the package overview).
+var (
+	// WithMaxSamples stops a run after n completed samples.
+	WithMaxSamples = core.WithMaxSamples
+	// WithMaxQueries stops a run after n service queries.
+	WithMaxQueries = core.WithMaxQueries
+	// WithTargetCI stops a run at a relative 95 % CI half-width.
+	WithTargetCI = core.WithTargetCI
+	// WithProgress streams per-sample trace points to a callback.
+	WithProgress = core.WithProgress
+	// WithParallelism samples from n concurrent estimator forks.
+	WithParallelism = core.WithParallelism
 )
 
 // NewLRAggregator builds the unbiased location-returned estimator

@@ -1,6 +1,7 @@
 package lbsagg_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	db := lbsagg.NewDatabase(bounds, tuples)
 	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 5})
 	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
-	res, err := agg.Run([]lbsagg.Aggregate{lbsagg.Count(), lbsagg.SumAttr("v")}, 300, 0)
+	res, err := agg.Run(context.Background(), []lbsagg.Aggregate{lbsagg.Count(), lbsagg.SumAttr("v")}, lbsagg.WithMaxSamples(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestFacadeLNRAndScenarios(t *testing.T) {
 	sc := lbsagg.WeiboChina(150, 7)
 	svc := lbsagg.NewService(sc.DB, lbsagg.ServiceOptions{K: 5})
 	agg := lbsagg.NewLNRAggregator(svc, lbsagg.LNROptions{Seed: 3})
-	res, err := agg.Run([]lbsagg.Aggregate{lbsagg.CountTag("gender", "m")}, 40, 0)
+	res, err := agg.Run(context.Background(), []lbsagg.Aggregate{lbsagg.CountTag("gender", "m")}, lbsagg.WithMaxSamples(40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFacadeSamplers(t *testing.T) {
 func TestFacadeFilters(t *testing.T) {
 	sc := lbsagg.StarbucksUS(30, 100, 5)
 	svc := lbsagg.NewService(sc.DB, lbsagg.ServiceOptions{K: 3})
-	res, err := svc.QueryLR(lbsagg.Pt(2000, 1200), lbsagg.NameFilter("Starbucks"))
+	res, err := svc.QueryLR(context.Background(), lbsagg.Pt(2000, 1200), lbsagg.NameFilter("Starbucks"))
 	if err != nil {
 		t.Fatal(err)
 	}
