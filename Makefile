@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test bench
+.PHONY: all vet build test bench bench-throughput
 
 all: vet build test
 
@@ -18,3 +18,9 @@ test:
 # 1 ms-latency Oracle.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelism' -benchtime 3x .
+
+# bench-throughput load-tests the lbsserve HTTP stack: 8 concurrent
+# clients against one server, per-point GETs versus batched POSTs.
+# The batch=32 row should show a multiple of the batch=1 queries/s.
+bench-throughput:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeThroughput' -benchtime 2s ./internal/httpapi

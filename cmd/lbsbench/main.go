@@ -37,6 +37,7 @@ func main() {
 		budget = flag.Int64("budget", 0, "per-run query budget override")
 		k      = flag.Int("k", 0, "service top-k override")
 		seed   = flag.Int64("seed", 0, "base seed override")
+		batch  = flag.Int("batch", 0, "samples per oracle round-trip for batch-capable estimators (0/1 = unbatched)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *batch > 1 {
+		cfg.Batch = *batch
 	}
 
 	figures := map[string]runner{

@@ -6,6 +6,12 @@
 //	# then point an httpapi.Client (or curl) at it:
 //	curl 'localhost:8080/v1/lr?x=1200&y=900'
 //	curl 'localhost:8080/v1/lnr?x=1200&y=900&category=school'
+//	curl -d '{"points":[{"x":1200,"y":900},{"x":1300,"y":950}]}' \
+//	     'localhost:8080/v1/query/lr:batch'
+//
+// -cache-size layers a sharded LRU answer cache in front of the
+// service (a caching gateway): repeated queries are served from
+// memory without consuming the budget.
 package main
 
 import (
@@ -26,13 +32,14 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "schools", "schools | restaurants | starbucks | wechat | weibo")
-		n        = flag.Int("n", 2000, "number of tuples")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		k        = flag.Int("k", 10, "interface top-k")
-		budget   = flag.Int64("budget", 0, "total query budget (0 = unlimited)")
-		radius   = flag.Float64("radius", 0, "maximum coverage radius (0 = unlimited)")
-		addr     = flag.String("addr", ":8080", "listen address")
+		scenario  = flag.String("scenario", "schools", "schools | restaurants | starbucks | wechat | weibo")
+		n         = flag.Int("n", 2000, "number of tuples")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		k         = flag.Int("k", 10, "interface top-k")
+		budget    = flag.Int64("budget", 0, "total query budget (0 = unlimited)")
+		radius    = flag.Float64("radius", 0, "maximum coverage radius (0 = unlimited)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache-size", 0, "answer-cache entries in front of the service (0 = no cache); hits are served without consuming budget, like a caching gateway")
 	)
 	flag.Parse()
 
@@ -55,13 +62,19 @@ func main() {
 	svc := lbs.NewService(sc.DB, lbs.Options{
 		K: *k, Budget: *budget, MaxRadius: *radius,
 	})
-	fmt.Printf("serving %s (%d tuples, k=%d) on %s\n", sc.Name, sc.DB.Len(), *k, *addr)
+	var backend lbs.Querier = svc
+	var cache *lbs.CachedOracle
+	if *cacheSize > 0 {
+		cache = lbs.NewCachedOracle(svc, lbs.CacheOptions{Capacity: *cacheSize})
+		backend = cache
+	}
+	fmt.Printf("serving %s (%d tuples, k=%d, cache=%d) on %s\n", sc.Name, sc.DB.Len(), *k, *cacheSize, *addr)
 
 	// Serve until interrupted, then drain: in-flight queries see their
 	// request contexts canceled and the listener closes cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: httpapi.NewServer(svc)}
+	srv := &http.Server{Addr: *addr, Handler: httpapi.NewServer(backend)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -74,5 +87,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("shut down after %d queries\n", svc.QueryCount())
+		if cache != nil {
+			st := cache.Stats()
+			fmt.Printf("cache: %d hits, %d misses, %d bypasses, %d evictions, %d resident\n",
+				st.Hits, st.Misses, st.Bypasses, st.Evictions, st.Entries)
+		}
 	}
 }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/sampling"
+)
+
+// nonBatchOracle hides the batch methods of a service so tests can
+// exercise the driver's sequential fallback path.
+type nonBatchOracle struct {
+	svc *lbs.Service
+}
+
+func (o nonBatchOracle) QueryLR(ctx context.Context, q geom.Point, f lbs.Filter) ([]lbs.LRRecord, error) {
+	return o.svc.QueryLR(ctx, q, f)
+}
+func (o nonBatchOracle) QueryLNR(ctx context.Context, q geom.Point, f lbs.Filter) ([]lbs.LNRRecord, error) {
+	return o.svc.QueryLNR(ctx, q, f)
+}
+func (o nonBatchOracle) Bounds() geom.Rect { return o.svc.Bounds() }
+func (o nonBatchOracle) K() int            { return o.svc.K() }
+func (o nonBatchOracle) QueryCount() int64 { return o.svc.QueryCount() }
+
+// TestWithBatchFallbackEquivalence: for an estimator without a native
+// batch path (LRAggregator), WithBatch(m) falls back to sequential
+// Step calls and must produce bit-identical results to the unbatched
+// run with the same seed.
+func TestWithBatchFallbackEquivalence(t *testing.T) {
+	db := smallService2(80, 11)
+	run := func(batch int) []Result {
+		svc := lbs.NewService(db, lbs.Options{K: 2})
+		agg := NewLRAggregator(svc, DefaultLROptions(5))
+		opts := []RunOption{WithMaxSamples(24)}
+		if batch > 1 {
+			opts = append(opts, WithBatch(batch))
+		}
+		res, err := agg.Run(context.Background(), []Aggregate{Count()}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, batched := run(1), run(4)
+	if plain[0].Samples != batched[0].Samples {
+		t.Fatalf("samples: %d vs %d", plain[0].Samples, batched[0].Samples)
+	}
+	if plain[0].Estimate != batched[0].Estimate || plain[0].StdErr != batched[0].StdErr {
+		t.Errorf("batched fallback diverged: %+v vs %+v", plain[0], batched[0])
+	}
+	if plain[0].Queries != batched[0].Queries {
+		t.Errorf("query cost changed under batching: %d vs %d", plain[0].Queries, batched[0].Queries)
+	}
+}
+
+// TestNNOStepBatchDistribution: NNO's native batch path draws valid
+// samples — the batched run must land in the same loose accuracy band
+// as the sequential baseline and must not change the per-sample query
+// cost structure.
+func TestNNOStepBatchDistribution(t *testing.T) {
+	db := smallService2(60, 301)
+	svc := lbs.NewService(db, lbs.Options{K: 1})
+	nno := NewNNOBaseline(svc, NNOOptions{Seed: 1})
+	res, err := nno.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(150), WithBatch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Samples != 150 {
+		t.Errorf("samples = %d, want 150", res[0].Samples)
+	}
+	truth := float64(db.Len())
+	if rel := res[0].RelErr(truth); rel > 0.6 {
+		t.Errorf("batched NNO estimate %v vs truth %v (rel %v)", res[0].Estimate, truth, rel)
+	}
+}
+
+// TestNNOBatchRespectsBudget: a batched parallel run against a
+// budget-capped service stops gracefully with partial results and the
+// counter never exceeds the budget.
+func TestNNOBatchRespectsBudget(t *testing.T) {
+	db := smallService2(60, 17)
+	const budget = 400
+	svc := lbs.NewService(db, lbs.Options{K: 1, Budget: budget})
+	nno := NewNNOBaseline(svc, NNOOptions{Seed: 3})
+	res, err := nno.Run(context.Background(), []Aggregate{Count()},
+		WithBatch(8), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Samples == 0 {
+		t.Fatal("no samples completed")
+	}
+	if n := svc.QueryCount(); n > budget {
+		t.Errorf("QueryCount %d exceeds budget %d", n, budget)
+	}
+}
+
+// TestStepBatchFallbackOracle: WithBatch over an Oracle without batch
+// support must still work (per-query fallback inside the probe loop).
+func TestStepBatchFallbackOracle(t *testing.T) {
+	db := smallService2(40, 23)
+	svc := lbs.NewService(db, lbs.Options{K: 1})
+	nno := NewNNOBaseline(nonBatchOracle{svc}, NNOOptions{Seed: 9})
+	res, err := nno.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(40), WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Samples != 40 {
+		t.Errorf("samples = %d, want 40", res[0].Samples)
+	}
+}
+
+// snapSampler snaps uniform draws to a coarse grid, making repeated
+// sample points common — the workload where client-side caching pays.
+type snapSampler struct {
+	*sampling.Uniform
+	pitch float64
+}
+
+func (s snapSampler) Sample(rng *rand.Rand) geom.Point {
+	p := s.Uniform.Sample(rng)
+	return geom.Pt(
+		(math.Floor(p.X/s.pitch)+0.5)*s.pitch,
+		(math.Floor(p.Y/s.pitch)+0.5)*s.pitch,
+	)
+}
+
+// TestCachedRunSameEstimateFewerQueries is the acceptance check for
+// the caching layer: on a workload with repeated sample points, an
+// estimator over a CachedOracle reaches the *same* estimate as the
+// uncached run (the wrapper is transparent) while consuming strictly
+// fewer service queries.
+func TestCachedRunSameEstimateFewerQueries(t *testing.T) {
+	db := smallService2(60, 5)
+	const samples = 80
+	run := func(cached bool) ([]Result, int64) {
+		svc := lbs.NewService(db, lbs.Options{K: 1})
+		var oracle Oracle = svc
+		if cached {
+			oracle = lbs.NewCachedOracle(svc, lbs.CacheOptions{Capacity: 1 << 14})
+		}
+		smp := snapSampler{Uniform: sampling.NewUniform(db.Bounds()), pitch: 25}
+		nno := NewNNOBaseline(oracle, NNOOptions{Seed: 21, Sampler: smp, ProbesPerCell: 10})
+		res, err := nno.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(samples))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, svc.QueryCount()
+	}
+	plain, plainQ := run(false)
+	cached, cachedQ := run(true)
+	if plain[0].Samples != samples || cached[0].Samples != samples {
+		t.Fatalf("samples: plain %d cached %d, want %d", plain[0].Samples, cached[0].Samples, samples)
+	}
+	if plain[0].Estimate != cached[0].Estimate {
+		t.Errorf("cached estimate %v != uncached %v (wrapper must be transparent)",
+			cached[0].Estimate, plain[0].Estimate)
+	}
+	if cachedQ >= plainQ {
+		t.Errorf("cached run spent %d queries, want strictly fewer than uncached %d", cachedQ, plainQ)
+	}
+	t.Logf("uncached %d queries, cached %d (%.0f%% saved)", plainQ, cachedQ,
+		100*(1-float64(cachedQ)/float64(plainQ)))
+}
+
+// TestCachedBatchedParallelRun combines every layer: cache wrapper,
+// native NNO batching, parallel forks — under -race this exercises
+// the concurrent shard locking end to end.
+func TestCachedBatchedParallelRun(t *testing.T) {
+	db := smallService2(60, 5)
+	svc := lbs.NewService(db, lbs.Options{K: 1})
+	oracle := lbs.NewCachedOracle(svc, lbs.CacheOptions{Capacity: 4096, Shards: 8})
+	smp := snapSampler{Uniform: sampling.NewUniform(db.Bounds()), pitch: 20}
+	nno := NewNNOBaseline(oracle, NNOOptions{Seed: 2, Sampler: smp, ProbesPerCell: 8})
+	res, err := nno.Run(context.Background(), []Aggregate{Count()},
+		WithMaxSamples(120), WithBatch(8), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Samples != 120 {
+		t.Errorf("samples = %d, want 120", res[0].Samples)
+	}
+	st := oracle.Stats()
+	if st.Hits == 0 {
+		t.Errorf("expected cache hits on a snapped workload, got %+v", st)
+	}
+	if st.Misses != svc.QueryCount() {
+		t.Errorf("misses %d != inner queries %d", st.Misses, svc.QueryCount())
+	}
+}

@@ -47,6 +47,7 @@ type runConfig struct {
 	targetCI    float64
 	progress    func([]TracePoint)
 	parallelism int
+	batch       int
 }
 
 // RunOption configures an estimation run (see Driver.Run).
@@ -62,9 +63,10 @@ func WithMaxSamples(n int) RunOption {
 // on behalf of this run (0 = unlimited). The limit is checked between
 // samples, so a run finishes samples in flight and may overshoot by
 // one sample's worth of queries — per worker: under WithParallelism(p)
-// the overshoot can reach p in-flight samples. Against a paid or
-// hard-capped remote API, enforce the cap on the service side
-// (ServiceOptions.Budget or the adapter) as well.
+// the overshoot can reach p in-flight samples, and under WithBatch(m)
+// each in-flight unit is a whole batch, so the bound is p×m samples'
+// worth. Against a paid or hard-capped remote API, enforce the cap on
+// the service side (ServiceOptions.Budget or the adapter) as well.
 func WithMaxQueries(n int64) RunOption {
 	return func(c *runConfig) { c.maxQueries = n }
 }
@@ -124,6 +126,9 @@ func (d *Driver) Run(ctx context.Context, aggs []Aggregate, opts ...RunOption) (
 	var cfg runConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
 	}
 	if cfg.parallelism > 1 {
 		return d.runParallel(ctx, aggs, cfg)
@@ -203,21 +208,29 @@ func (d *Driver) runSerial(ctx context.Context, aggs []Aggregate, cfg runConfig)
 		if ctx.Err() != nil {
 			break
 		}
-		vals, err := d.Est.Step(ctx, aggs)
+		m := cfg.batch
+		if cfg.maxSamples > 0 {
+			if rem := cfg.maxSamples - accs[0].N(); rem < m {
+				m = rem
+			}
+		}
+		batchVals, err := stepBatch(ctx, d.Est, aggs, m)
+		q := svc.QueryCount() - startQ
+		for _, vals := range batchVals {
+			for j := range aggs {
+				accs[j].Add(vals[j])
+				points[j] = TracePoint{Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean()}
+				traces[j] = append(traces[j], points[j])
+			}
+			if cfg.progress != nil {
+				cfg.progress(points)
+			}
+		}
 		if stopErr(ctx, err) {
 			break
 		}
 		if err != nil {
 			return nil, err
-		}
-		q := svc.QueryCount() - startQ
-		for j := range aggs {
-			accs[j].Add(vals[j])
-			points[j] = TracePoint{Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean()}
-			traces[j] = append(traces[j], points[j])
-		}
-		if cfg.progress != nil {
-			cfg.progress(points)
 		}
 		if ciMet(accs, cfg.targetCI) {
 			break
@@ -283,10 +296,33 @@ func (d *Driver) runParallel(ctx context.Context, aggs []Aggregate, cfg runConfi
 				if cfg.maxQueries > 0 && svc.QueryCount()-startQ >= cfg.maxQueries {
 					return
 				}
-				if cfg.maxSamples > 0 && taken.Add(1) > int64(cfg.maxSamples) {
-					return
+				m := cfg.batch
+				if cfg.maxSamples > 0 {
+					got := taken.Add(int64(m))
+					over := got - int64(cfg.maxSamples)
+					if over >= int64(m) {
+						return
+					}
+					if over > 0 {
+						m -= int(over)
+					}
 				}
-				vals, err := est.Step(runCtx, aggs)
+				batchVals, err := stepBatch(runCtx, est, aggs, m)
+				q := svc.QueryCount() - startQ
+				for _, vals := range batchVals {
+					// Hand the sample to the collector before folding it
+					// in, so a cancellation between the two cannot produce
+					// a merged state the trace/progress stream never saw:
+					// a sample either reaches both or neither.
+					select {
+					case samples <- sampleMsg{vals: vals, queries: q}:
+					case <-runCtx.Done():
+						return
+					}
+					for j := range aggs {
+						accs[j].Add(vals[j])
+					}
+				}
 				if stopErr(runCtx, err) {
 					return
 				}
@@ -298,18 +334,6 @@ func (d *Driver) runParallel(ctx context.Context, aggs []Aggregate, cfg runConfi
 					fatalMu.Unlock()
 					cancel()
 					return
-				}
-				// Hand the sample to the collector before folding it in,
-				// so a cancellation between the two cannot produce a
-				// merged state the trace/progress stream never saw: a
-				// sample either reaches both or neither.
-				select {
-				case samples <- sampleMsg{vals: vals, queries: svc.QueryCount() - startQ}:
-				case <-runCtx.Done():
-					return
-				}
-				for j := range aggs {
-					accs[j].Add(vals[j])
 				}
 			}
 		}(w)

@@ -115,13 +115,17 @@ func TestDriverParallelSharedService(t *testing.T) {
 func TestDriverParallelLNR(t *testing.T) {
 	svc, db := smallService(t, 150, 5, 33)
 	agg := NewLNRAggregator(svc, LNROptions{Seed: 7})
+	// Which fork draws which sample depends on scheduling, so the run
+	// is not seed-deterministic; 48 samples of the heavy-tailed LNR
+	// weight distribution flaked past the z-bound every few dozen
+	// runs. 128 samples keeps the test fast while calming the tail.
 	res, err := agg.Run(context.Background(), []Aggregate{Count()},
-		WithMaxSamples(48), WithParallelism(4))
+		WithMaxSamples(128), WithParallelism(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res[0].Samples != 48 {
-		t.Fatalf("samples = %d, want 48", res[0].Samples)
+	if res[0].Samples != 128 {
+		t.Fatalf("samples = %d, want 128", res[0].Samples)
 	}
 	checkZ(t, "parallel LNR COUNT", res[0], float64(db.Len()), 6)
 }

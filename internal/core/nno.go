@@ -100,6 +100,41 @@ func (b *NNOBaseline) Step(ctx context.Context, aggs []Aggregate) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
+	return b.finishSample(ctx, q, recs, aggs)
+}
+
+// StepBatch implements BatchEstimator: the m seed queries travel as
+// one batch through the oracle's batch path, and each sample's
+// Monte-Carlo probes batch as well (see finishSample). Samples whose
+// seed the budget could not answer are skipped; completed samples are
+// returned alongside any stop error.
+func (b *NNOBaseline) StepBatch(ctx context.Context, aggs []Aggregate, m int) ([][]float64, error) {
+	if m < 1 {
+		m = 1
+	}
+	pts := make([]geom.Point, m)
+	for i := range pts {
+		pts[i] = b.smp.Sample(b.rng)
+	}
+	seeds, err := queryLRBatched(ctx, b.svc, pts, b.opts.Filter)
+	out := make([][]float64, 0, m)
+	for i, recs := range seeds {
+		if recs == nil {
+			continue // the budget died before this seed was answered
+		}
+		vals, ferr := b.finishSample(ctx, pts[i], recs, aggs)
+		if ferr != nil {
+			return out, ferr
+		}
+		out = append(out, vals)
+	}
+	return out, err
+}
+
+// finishSample runs the box-growing and probing phases for one seeded
+// sample: q is the sampled query location, recs its (already charged)
+// answer.
+func (b *NNOBaseline) finishSample(ctx context.Context, q geom.Point, recs []lbs.LRRecord, aggs []Aggregate) ([]float64, error) {
 	out := make([]float64, len(aggs))
 	if len(recs) == 0 {
 		return out, nil
@@ -138,14 +173,21 @@ func (b *NNOBaseline) Step(ctx context.Context, aggs []Aggregate) ([]float64, er
 	if !ok || box.Area() <= 0 {
 		return out, nil
 	}
-	// Phase 2: Monte-Carlo area estimate.
+	// Phase 2: Monte-Carlo area estimate. The probes are independent,
+	// so they travel through the oracle's batch path when it has one
+	// (one round-trip and one budget reservation instead of
+	// ProbesPerCell); the probe points, their order and the query cost
+	// are identical to the sequential loop.
+	probes := make([]geom.Point, b.opts.ProbesPerCell)
+	for i := range probes {
+		probes[i] = geom.RandomInRect(b.rng, box)
+	}
+	answers, err := queryLRBatched(ctx, b.svc, probes, b.opts.Filter)
+	if err != nil {
+		return nil, err
+	}
 	hits := 0
-	for i := 0; i < b.opts.ProbesPerCell; i++ {
-		p := geom.RandomInRect(b.rng, box)
-		pr, err := b.query(ctx, p)
-		if err != nil {
-			return nil, err
-		}
+	for _, pr := range answers {
 		if isTop1(pr, t.ID) {
 			hits++
 		}

@@ -32,6 +32,11 @@ type Config struct {
 	K int
 	// Seed is the base seed; run r uses Seed + r.
 	Seed int64
+	// Batch, when > 1, draws up to this many point samples per oracle
+	// round-trip for estimators with a batch path (currently NNO); the
+	// sample distribution and query cost are unchanged — only the
+	// round-trip count drops.
+	Batch int
 }
 
 // Paper returns the full-scale configuration.
@@ -249,7 +254,7 @@ func runTraces(ctx context.Context, cfg Config, sc *workload.Scenario, svcOpts l
 	for r := 0; r < cfg.Runs; r++ {
 		seed := cfg.Seed + int64(r)*7919
 		svc := lbs.NewService(sc.DB, svcOpts)
-		res, err := runOne(ctx, svc, sc, spec, agg, seed, cfg.Budget)
+		res, err := runOne(ctx, svc, sc, spec, agg, seed, cfg.Budget, cfg.Batch)
 		if err != nil {
 			return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
 		}
@@ -258,10 +263,19 @@ func runTraces(ctx context.Context, cfg Config, sc *workload.Scenario, svcOpts l
 	return ts, nil
 }
 
+// runOpts assembles the driver options of one estimation run.
+func runOpts(budget int64, batch int) []core.RunOption {
+	opts := []core.RunOption{core.WithMaxQueries(budget)}
+	if batch > 1 {
+		opts = append(opts, core.WithBatch(batch))
+	}
+	return opts
+}
+
 // runOne executes a single run of a spec and returns the result for
 // the aggregate.
 func runOne(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
-	agg core.Aggregate, seed, budget int64) (core.Result, error) {
+	agg core.Aggregate, seed, budget int64, batch int) (core.Result, error) {
 
 	switch spec.Kind {
 	case AlgoLR:
@@ -295,7 +309,7 @@ func runOne(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec A
 		if spec.Weighted {
 			opts.Sampler = sc.Grid
 		}
-		res, err := core.NewNNOBaseline(svc, opts).Run(ctx, []core.Aggregate{agg}, core.WithMaxQueries(budget))
+		res, err := core.NewNNOBaseline(svc, opts).Run(ctx, []core.Aggregate{agg}, runOpts(budget, batch)...)
 		if err != nil {
 			return core.Result{}, err
 		}

@@ -150,7 +150,7 @@ func Fig17(ctx context.Context, cfg Config) (*Figure, error) {
 		for r := 0; r < cfg.Runs; r++ {
 			seed := cfg.Seed + int64(r)*7919
 			svc := lbs.NewService(sc.DB, lbs.Options{K: cfg.K})
-			trace, err := runRatio(ctx, svc, sc, spec, sumAgg, cntAgg, austin, seed, cfg.Budget)
+			trace, err := runRatio(ctx, svc, sc, spec, sumAgg, cntAgg, austin, seed, cfg.Budget, cfg.Batch)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
 			}
@@ -164,7 +164,7 @@ func Fig17(ctx context.Context, cfg Config) (*Figure, error) {
 // runRatio runs one ratio (AVG) estimation restricted to a region and
 // returns the ratio trace.
 func runRatio(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
-	num, den core.Aggregate, region geom.Rect, seed, budget int64) ([]core.TracePoint, error) {
+	num, den core.Aggregate, region geom.Rect, seed, budget int64, batch int) ([]core.TracePoint, error) {
 
 	aggs := []core.Aggregate{num, den}
 	var results []core.Result
@@ -192,7 +192,7 @@ func runRatio(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec
 		// NNO has no region machinery in [10]; approximate by sampling
 		// inside the region only.
 		opts.Region = region
-		results, err = core.NewNNOBaseline(svc, opts).Run(ctx, aggs, core.WithMaxQueries(budget))
+		results, err = core.NewNNOBaseline(svc, opts).Run(ctx, aggs, runOpts(budget, batch)...)
 	}
 	if err != nil {
 		return nil, err

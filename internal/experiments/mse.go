@@ -33,7 +33,7 @@ func MSEDecomposition(ctx context.Context, cfg Config) ([]MSERow, error) {
 		for r := 0; r < cfg.Runs; r++ {
 			seed := cfg.Seed + int64(r)*7919
 			svc := lbs.NewService(sc.DB, lbs.Options{K: cfg.K})
-			res, err := runOne(ctx, svc, sc, spec, core.Count(), seed, cfg.Budget)
+			res, err := runOne(ctx, svc, sc, spec, core.Count(), seed, cfg.Budget, cfg.Batch)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
 			}

@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+// benchService is a lean service for throughput runs: plain located
+// tuples without attribute maps, so the wire cost per record models a
+// minimal LBS answer and the measurement isolates per-request versus
+// per-query overhead.
+func benchService(n, k int) *lbs.Service {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	pts := workload.ClusterMix(workload.ClusterMixConfig{
+		Bounds: bounds, N: n, Clusters: 6, UniformFrac: 0.3, Seed: 42,
+	})
+	tuples := make([]lbs.Tuple, n)
+	for i, p := range pts {
+		tuples[i] = lbs.Tuple{ID: int64(i + 1), Loc: p, Category: "poi"}
+	}
+	return lbs.NewService(lbs.NewDatabase(bounds, tuples), lbs.Options{K: k})
+}
+
+// BenchmarkServeThroughput measures server throughput (answered
+// queries per second) under 8 concurrent clients, comparing the
+// per-point GET path (batch=1) against the batched POST path. The
+// per-request overhead — connection handling, JSON framing, budget
+// and limiter synchronization — is paid once per batch instead of
+// once per query, which is the whole argument for the batch endpoint
+// under heavy traffic (run `make bench-throughput`).
+func BenchmarkServeThroughput(b *testing.B) {
+	const clients = 8
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			svc := benchService(2000, 5)
+			ts := httptest.NewServer(NewServer(svc))
+			defer ts.Close()
+
+			// One client per worker, sharing the server.
+			cs := make([]*Client, clients)
+			for i := range cs {
+				c, err := NewClient(context.Background(), ts.URL, Selection{}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs[i] = c
+			}
+			bounds := svc.Bounds()
+			perClient := b.N/clients + 1
+
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					c := cs[w]
+					issued := 0
+					for issued < perClient {
+						m := batch
+						if rem := perClient - issued; rem < m {
+							m = rem
+						}
+						pts := make([]geom.Point, m)
+						for j := range pts {
+							pts[j] = geom.Pt(
+								bounds.Min.X+rng.Float64()*(bounds.Max.X-bounds.Min.X),
+								bounds.Min.Y+rng.Float64()*(bounds.Max.Y-bounds.Min.Y),
+							)
+						}
+						var err error
+						if m == 1 {
+							_, err = c.QueryLR(context.Background(), pts[0], nil)
+						} else {
+							_, err = c.QueryLRBatch(context.Background(), pts, nil)
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						issued += m
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(svc.QueryCount())/elapsed.Seconds(), "queries/s")
+			b.ReportMetric(0, "ns/op") // queries/s is the meaningful metric here
+		})
+	}
+}

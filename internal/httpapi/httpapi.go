@@ -3,22 +3,35 @@
 // blueprint for running the algorithms against a real networked
 // service. Both sides use only net/http and encoding/json.
 //
-// Wire protocol (JSON over GET):
+// Wire protocol (JSON over GET, plus POST for batches):
 //
 //	GET /v1/meta                      → {k, min_x, min_y, max_x, max_y}
 //	GET /v1/lr?x=..&y=..[&name=..][&category=..]   → {results: [...with locations]}
 //	GET /v1/lnr?x=..&y=..[&name=..][&category=..]  → {results: [...ids+attrs only]}
+//	POST /v1/query/lr:batch   {points:[{x,y},...][,name][,category]}
+//	  → {answers:[{results:[...]}|null, ...][, exhausted]}
+//	POST /v1/query/lnr:batch  (same shape, rank-only results)
+//
+// A batch answers up to maxBatchPoints locations in one HTTP request
+// and one server-side budget reservation; answers are index-aligned
+// with the points, a null answer marks a position the budget could
+// not cover (exhausted=true rides along), and each answered point
+// costs one unit of budget. Clients under heavy concurrent traffic
+// should prefer the batch endpoints: the per-request overhead is paid
+// once per batch instead of once per sample.
 //
 // Selection pass-through (§5.1) is declarative on the wire: name and
-// category equality filters ride along as query parameters. The
-// client is constructed with a fixed Selection; the per-call filter
-// argument of the Oracle interface must be nil (a functional filter
-// cannot cross the network).
+// category equality filters ride along as query parameters (or batch
+// body fields). The client is constructed with a fixed Selection; the
+// per-call filter argument of the Oracle interface must be nil (a
+// functional filter cannot cross the network).
 package httpapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -76,18 +89,54 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Server adapts a *lbs.Service into an http.Handler.
+// batch wire types
+
+type wirePoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type batchRequest struct {
+	Points   []wirePoint `json:"points"`
+	Name     string      `json:"name,omitempty"`
+	Category string      `json:"category,omitempty"`
+}
+
+type batchResponse struct {
+	// Answers is index-aligned with the request points; a null entry
+	// marks a point the budget could not cover.
+	Answers []*queryResponse `json:"answers"`
+	// Exhausted reports that the service budget died inside (or right
+	// at the end of) this batch.
+	Exhausted bool `json:"exhausted,omitempty"`
+}
+
+// maxBatchPoints caps the points per batch request and
+// maxBatchBodyBytes caps the request body read before decoding, so
+// one POST can bound neither unbounded work nor unbounded memory on
+// the server. 1024 points encode to ~50 KB; 256 KB leaves generous
+// slack for selection strings.
+const (
+	maxBatchPoints    = 1024
+	maxBatchBodyBytes = 256 << 10
+)
+
+// Server adapts a service view into an http.Handler. Any lbs.Querier
+// works as the backend: the raw simulator, or a CachedOracle layered
+// in front of it (a caching gateway).
 type Server struct {
-	svc *lbs.Service
+	svc lbs.Querier
 	mux *http.ServeMux
 }
 
-// NewServer wraps a service.
-func NewServer(svc *lbs.Service) *Server {
+// NewServer wraps a service backend.
+func NewServer(svc lbs.Querier) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/meta", s.handleMeta)
 	s.mux.HandleFunc("/v1/lr", s.handleLR)
 	s.mux.HandleFunc("/v1/lnr", s.handleLNR)
+	s.mux.HandleFunc("/v1/query/lr:batch", s.handleLRBatch)
+	s.mux.HandleFunc("/v1/query/lnr:batch", s.handleLNRBatch)
 	return s
 }
 
@@ -130,6 +179,11 @@ func (s *Server) handleLR(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
 	}
+	writeJSON(w, http.StatusOK, wireLR(recs))
+}
+
+// wireLR converts one LR answer to its wire shape.
+func wireLR(recs []lbs.LRRecord) queryResponse {
 	out := queryResponse{Results: make([]wireRecord, len(recs))}
 	for i, rec := range recs {
 		x, y, d := rec.Loc.X, rec.Loc.Y, rec.Dist
@@ -139,7 +193,7 @@ func (s *Server) handleLR(w http.ResponseWriter, r *http.Request) {
 			Attrs: rec.Attrs, Tags: rec.Tags,
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 func (s *Server) handleLNR(w http.ResponseWriter, r *http.Request) {
@@ -153,6 +207,11 @@ func (s *Server) handleLNR(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
 	}
+	writeJSON(w, http.StatusOK, wireLNR(recs))
+}
+
+// wireLNR converts one LNR answer to its wire shape.
+func wireLNR(recs []lbs.LNRRecord) queryResponse {
 	out := queryResponse{Results: make([]wireRecord, len(recs))}
 	for i, rec := range recs {
 		out.Results[i] = wireRecord{
@@ -160,7 +219,76 @@ func (s *Server) handleLNR(w http.ResponseWriter, r *http.Request) {
 			Attrs: rec.Attrs, Tags: rec.Tags,
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+// parseBatch decodes and validates a batch request body. The body is
+// capped at maxBatchBodyBytes *before* decoding, so an oversized POST
+// is rejected without allocating it.
+func parseBatch(w http.ResponseWriter, r *http.Request) ([]geom.Point, Selection, error) {
+	if r.Method != http.MethodPost {
+		return nil, Selection{}, fmt.Errorf("batch queries are POST-only")
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
+		return nil, Selection{}, fmt.Errorf("invalid batch body: %v", err)
+	}
+	if len(req.Points) == 0 {
+		return nil, Selection{}, fmt.Errorf("batch needs at least one point")
+	}
+	if len(req.Points) > maxBatchPoints {
+		return nil, Selection{}, fmt.Errorf("batch of %d points exceeds the %d-point cap", len(req.Points), maxBatchPoints)
+	}
+	pts := make([]geom.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = geom.Pt(p.X, p.Y)
+	}
+	return pts, Selection{Name: req.Name, Category: req.Category}, nil
+}
+
+// serveBatch is the protocol logic shared by both batch endpoints:
+// parse, query through the given batch path, and render the aligned
+// answers. A batch the budget covered partially returns 200 with nil
+// holes and exhausted=true; a batch it covered not at all behaves
+// like the single-query path (429).
+func serveBatch[T any](s *Server, w http.ResponseWriter, r *http.Request,
+	query func(context.Context, []geom.Point, lbs.Filter) ([][]T, error),
+	wire func([]T) queryResponse) {
+
+	pts, sel, err := parseBatch(w, r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	answers, err := query(r.Context(), pts, sel.filter())
+	exhausted := errors.Is(err, lbs.ErrBudgetExhausted)
+	if err != nil && !exhausted {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := batchResponse{Answers: make([]*queryResponse, len(answers)), Exhausted: exhausted}
+	served := false
+	for i, recs := range answers {
+		if recs == nil {
+			continue
+		}
+		qr := wire(recs)
+		resp.Answers[i] = &qr
+		served = true
+	}
+	if exhausted && !served {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLRBatch(w http.ResponseWriter, r *http.Request) {
+	serveBatch(s, w, r, s.svc.QueryLRBatch, wireLR)
+}
+
+func (s *Server) handleLNRBatch(w http.ResponseWriter, r *http.Request) {
+	serveBatch(s, w, r, s.svc.QueryLNRBatch, wireLNR)
 }
 
 // Client is an HTTP implementation of the estimators' Oracle
@@ -272,8 +400,13 @@ func (c *Client) QueryLR(ctx context.Context, p geom.Point, filter lbs.Filter) (
 	if err != nil {
 		return nil, err
 	}
-	recs := make([]lbs.LRRecord, len(out.Results))
-	for i, w := range out.Results {
+	return lrOfWire(out.Results), nil
+}
+
+// lrOfWire decodes wire records into LR result rows.
+func lrOfWire(results []wireRecord) []lbs.LRRecord {
+	recs := make([]lbs.LRRecord, len(results))
+	for i, w := range results {
 		rec := lbs.LRRecord{
 			ID: w.ID, Name: w.Name, Category: w.Category,
 			Attrs: w.Attrs, Tags: w.Tags,
@@ -286,7 +419,7 @@ func (c *Client) QueryLR(ctx context.Context, p geom.Point, filter lbs.Filter) (
 		}
 		recs[i] = rec
 	}
-	return recs, nil
+	return recs
 }
 
 // QueryLNR implements core.Oracle (same filter restriction as QueryLR).
@@ -298,12 +431,123 @@ func (c *Client) QueryLNR(ctx context.Context, p geom.Point, filter lbs.Filter) 
 	if err != nil {
 		return nil, err
 	}
-	recs := make([]lbs.LNRRecord, len(out.Results))
-	for i, w := range out.Results {
+	return lnrOfWire(out.Results), nil
+}
+
+// lnrOfWire decodes wire records into LNR result rows.
+func lnrOfWire(results []wireRecord) []lbs.LNRRecord {
+	recs := make([]lbs.LNRRecord, len(results))
+	for i, w := range results {
 		recs[i] = lbs.LNRRecord{
 			ID: w.ID, Name: w.Name, Category: w.Category,
 			Attrs: w.Attrs, Tags: w.Tags,
 		}
 	}
-	return recs, nil
+	return recs
+}
+
+// postBatch performs one batch POST and returns the decoded response
+// with the answered count already folded into the client's local
+// query counter.
+func (c *Client) postBatch(ctx context.Context, endpoint string, pts []geom.Point) (*batchResponse, error) {
+	req := batchRequest{
+		Points:   make([]wirePoint, len(pts)),
+		Name:     c.sel.Name,
+		Category: c.sel.Category,
+	}
+	for i, p := range pts {
+		req.Points[i] = wirePoint{X: p.X, Y: p.Y}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: batch encode: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: batch: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil, lbs.ErrBudgetExhausted
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("httpapi: batch status %d: %s", resp.StatusCode, e.Error)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("httpapi: batch decode: %w", err)
+	}
+	answered := int64(0)
+	for _, a := range out.Answers {
+		if a != nil {
+			answered++
+		}
+	}
+	c.queries.Add(answered)
+	return &out, nil
+}
+
+// clientBatch is the decode shape shared by both client batch
+// methods: answers realigned to the request points, nil holes
+// preserved, Exhausted mapped back to lbs.ErrBudgetExhausted. Batches
+// larger than the server's per-POST point cap are transparently split
+// into sequential chunk requests, so callers may size batches freely
+// (e.g. core.WithBatch larger than maxBatchPoints); a budget death in
+// one chunk stops the remaining chunks, leaving their positions nil.
+func clientBatch[T any](c *Client, ctx context.Context, endpoint string, pts []geom.Point,
+	filter lbs.Filter, decode func([]wireRecord) []T) ([][]T, error) {
+
+	if filter != nil {
+		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	out := make([][]T, len(pts))
+	for off := 0; off < len(pts); off += maxBatchPoints {
+		end := off + maxBatchPoints
+		if end > len(pts) {
+			end = len(pts)
+		}
+		resp, err := c.postBatch(ctx, endpoint, pts[off:end])
+		if err != nil {
+			if off > 0 && errors.Is(err, lbs.ErrBudgetExhausted) {
+				return out, err
+			}
+			return nil, err
+		}
+		for i, a := range resp.Answers {
+			if off+i >= len(pts) {
+				break
+			}
+			if a == nil {
+				continue
+			}
+			out[off+i] = decode(a.Results)
+		}
+		if resp.Exhausted {
+			return out, lbs.ErrBudgetExhausted
+		}
+	}
+	return out, nil
+}
+
+// QueryLRBatch answers m location-returned queries in a single HTTP
+// round-trip (the core.BatchOracle contract: index-aligned answers,
+// nil for positions the server budget could not cover, alongside
+// lbs.ErrBudgetExhausted).
+func (c *Client) QueryLRBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LRRecord, error) {
+	return clientBatch(c, ctx, "/v1/query/lr:batch", pts, filter, lrOfWire)
+}
+
+// QueryLNRBatch is the rank-only twin of QueryLRBatch.
+func (c *Client) QueryLNRBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LNRRecord, error) {
+	return clientBatch(c, ctx, "/v1/query/lnr:batch", pts, filter, lnrOfWire)
 }

@@ -23,6 +23,27 @@
 // in-process simulator exposing exactly the same interface contract,
 // so the estimation algorithms exercise the same code paths while the
 // ground truth stays known.
+//
+// # Batch queries and caching
+//
+// Beyond the per-point QueryLR/QueryLNR calls, a Service answers
+// multi-point batches (QueryLRBatch/QueryLNRBatch): m points are
+// charged against the budget in one atomic reservation and metered
+// through the rate limiter under one lock round-trip, so heavily
+// concurrent clients amortize the per-query synchronization cost.
+// Each answered point still counts as one query — batching buys
+// round-trips, not budget.
+//
+// CachedOracle layers a concurrent sharded LRU cache over any Querier.
+// Caching models *client-side memoization* of previously received
+// answers — exactly what a polite client of a rate-limited API would
+// keep — not a change to the simulated service contract: cache hits
+// replay recorded answers without consuming budget or limiter quota,
+// while misses pass through (and are charged) unchanged. Functional
+// filters cannot be hashed, so filtered queries only use the cache
+// when the wrapper declares its filter fixed (CacheOptions.
+// TrustFilter); otherwise they bypass it, never replaying an answer
+// across different selections.
 package lbs
 
 import (
@@ -267,8 +288,47 @@ type Options struct {
 	ProminenceAttr   string
 	ProminenceWeight float64
 	// ProminenceOverfetch is the distance-candidate multiple used for
-	// prominence re-ranking (default 4 when zero).
+	// prominence re-ranking (default 4 when zero; negative values are
+	// rejected).
 	ProminenceOverfetch int
+}
+
+// defaultProminenceOverfetch is the candidate multiple used when
+// Options.ProminenceOverfetch is left zero. A multiple below 1 would
+// make every prominence query return an empty answer.
+const defaultProminenceOverfetch = 4
+
+// validate normalizes defaulted fields and rejects nonsensical
+// configurations.
+func (o *Options) validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("lbs: Options.K must be ≥ 1, got %d", o.K)
+	}
+	if o.MaxRadius < 0 {
+		return fmt.Errorf("lbs: Options.MaxRadius must be ≥ 0, got %g", o.MaxRadius)
+	}
+	if o.ProminenceOverfetch < 0 {
+		return fmt.Errorf("lbs: Options.ProminenceOverfetch must be ≥ 0, got %d", o.ProminenceOverfetch)
+	}
+	if o.ProminenceOverfetch == 0 {
+		o.ProminenceOverfetch = defaultProminenceOverfetch
+	}
+	return nil
+}
+
+// Querier is the query surface of a service view: point queries, batch
+// queries and the metadata the estimators need. *Service implements
+// it, and so do client-side wrappers such as CachedOracle; code
+// written against Querier (the HTTP server, the estimation driver)
+// accepts either. Implementations must be safe for concurrent use.
+type Querier interface {
+	QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]LRRecord, error)
+	QueryLNR(ctx context.Context, q geom.Point, filter Filter) ([]LNRRecord, error)
+	QueryLRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LRRecord, error)
+	QueryLNRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LNRRecord, error)
+	Bounds() geom.Rect
+	K() int
+	QueryCount() int64
 }
 
 // Service is a queryable kNN interface over a database. It is safe for
@@ -279,13 +339,14 @@ type Service struct {
 	queries atomic.Int64
 }
 
-// NewService creates a service view. K must be ≥ 1.
+var _ Querier = (*Service)(nil)
+
+// NewService creates a service view. It panics on invalid options
+// (K < 1, negative radius or overfetch) — misconfiguration, not a
+// runtime condition.
 func NewService(db *Database, opts Options) *Service {
-	if opts.K < 1 {
-		panic("lbs: Options.K must be ≥ 1")
-	}
-	if opts.ProminenceOverfetch <= 0 {
-		opts.ProminenceOverfetch = 4
+	if err := opts.validate(); err != nil {
+		panic(err.Error())
 	}
 	return &Service{db: db, opts: opts}
 }
@@ -352,18 +413,53 @@ func NameFilter(name string) Filter {
 // context can only be observed between queries; network adapters
 // additionally cancel the request in flight.
 func (s *Service) charge(ctx context.Context) error {
+	_, err := s.chargeN(ctx, 1)
+	return err
+}
+
+// chargeN atomically reserves up to n units of budget and meters the
+// rate limiter for the granted amount under a single limiter lock
+// round-trip. It returns how many units were granted; when the budget
+// covers only part of the request (or none), err is
+// ErrBudgetExhausted.
+//
+// The reservation is a CAS loop rather than add-then-rollback, so the
+// query counter never transiently exceeds the budget: concurrent
+// readers of QueryCount (the Driver's stop checks) always observe a
+// value ≤ Budget.
+func (s *Service) chargeN(ctx context.Context, n int64) (int64, error) {
 	if err := ctx.Err(); err != nil {
-		return err
+		return 0, err
 	}
-	n := s.queries.Add(1)
-	if s.opts.Budget > 0 && n > s.opts.Budget {
-		s.queries.Add(-1)
-		return ErrBudgetExhausted
+	if n <= 0 {
+		return 0, nil
+	}
+	granted := n
+	if s.opts.Budget > 0 {
+		for {
+			cur := s.queries.Load()
+			rem := s.opts.Budget - cur
+			if rem <= 0 {
+				return 0, ErrBudgetExhausted
+			}
+			granted = n
+			if rem < n {
+				granted = rem
+			}
+			if s.queries.CompareAndSwap(cur, cur+granted) {
+				break
+			}
+		}
+	} else {
+		s.queries.Add(n)
 	}
 	if s.opts.Limiter != nil {
-		s.opts.Limiter.Take()
+		s.opts.Limiter.TakeN(int(granted))
 	}
-	return nil
+	if granted < n {
+		return granted, ErrBudgetExhausted
+	}
+	return granted, nil
 }
 
 // VirtualWaited returns the total virtual time a rate-limited client
@@ -443,6 +539,12 @@ func (s *Service) QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]L
 	if err := s.charge(ctx); err != nil {
 		return nil, err
 	}
+	return s.answerLR(q, filter), nil
+}
+
+// answerLR computes one LR answer without charging; callers charge
+// first.
+func (s *Service) answerLR(q geom.Point, filter Filter) []LRRecord {
 	idxs := s.rawQuery(q, filter)
 	out := make([]LRRecord, len(idxs))
 	for i, idx := range idxs {
@@ -458,7 +560,23 @@ func (s *Service) QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]L
 			Tags:     t.Tags,
 		}
 	}
-	return out, nil
+	return out
+}
+
+// QueryLRBatch answers m location-returned queries under one atomic
+// budget reservation and one rate-limiter lock round-trip. The result
+// slice is index-aligned with pts; when the budget covers only part of
+// the batch, the unanswered positions are nil (a served empty answer
+// is a non-nil empty slice) and the error is ErrBudgetExhausted. Each
+// answered point costs one unit of budget — batching amortizes
+// round-trips, not queries.
+func (s *Service) QueryLRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LRRecord, error) {
+	out := make([][]LRRecord, len(pts))
+	granted, err := s.chargeN(ctx, int64(len(pts)))
+	for i := int64(0); i < granted; i++ {
+		out[i] = s.answerLR(pts[i], filter)
+	}
+	return out, err
 }
 
 // LNRRecord is one result row of the location-not-returned interface:
@@ -477,6 +595,12 @@ func (s *Service) QueryLNR(ctx context.Context, q geom.Point, filter Filter) ([]
 	if err := s.charge(ctx); err != nil {
 		return nil, err
 	}
+	return s.answerLNR(q, filter), nil
+}
+
+// answerLNR computes one LNR answer without charging; callers charge
+// first.
+func (s *Service) answerLNR(q geom.Point, filter Filter) []LNRRecord {
 	idxs := s.rawQuery(q, filter)
 	out := make([]LNRRecord, len(idxs))
 	for i, idx := range idxs {
@@ -489,5 +613,17 @@ func (s *Service) QueryLNR(ctx context.Context, q geom.Point, filter Filter) ([]
 			Tags:     t.Tags,
 		}
 	}
-	return out, nil
+	return out
+}
+
+// QueryLNRBatch is the rank-only twin of QueryLRBatch: m queries, one
+// atomic budget reservation, one limiter round-trip, nil entries for
+// the positions the budget could not cover.
+func (s *Service) QueryLNRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LNRRecord, error) {
+	out := make([][]LNRRecord, len(pts))
+	granted, err := s.chargeN(ctx, int64(len(pts)))
+	for i := int64(0); i < granted; i++ {
+		out[i] = s.answerLNR(pts[i], filter)
+	}
+	return out, err
 }

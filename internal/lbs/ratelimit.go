@@ -39,22 +39,36 @@ func NewRateLimiter(quota int, window time.Duration) *RateLimiter {
 // Take admits one query, advancing the virtual clock if the quota is
 // exhausted, and returns the time the caller virtually waited.
 func (r *RateLimiter) Take() time.Duration {
+	return r.TakeN(1)
+}
+
+// TakeN admits n queries under a single lock acquisition — the batch
+// query path meters a whole batch through one TakeN call — and
+// returns the total virtual wait. The admitted timestamps are
+// identical to n sequential Take calls, so virtual-time accounting is
+// unchanged by batching.
+func (r *RateLimiter) TakeN(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// Drop timestamps that have left the window.
-	r.gc()
 	var waited time.Duration
-	if len(r.issued) >= r.quota {
-		// Wait (virtually) until the oldest in-window query expires.
-		release := r.issued[0] + r.window
-		if release > r.virtual {
-			waited = release - r.virtual
-			r.virtual = release
-		}
+	for i := 0; i < n; i++ {
+		// Drop timestamps that have left the window.
 		r.gc()
+		if len(r.issued) >= r.quota {
+			// Wait (virtually) until the oldest in-window query expires.
+			release := r.issued[0] + r.window
+			if release > r.virtual {
+				waited += release - r.virtual
+				r.virtual = release
+			}
+			r.gc()
+		}
+		r.issued = append(r.issued, r.virtual)
+		r.count++
 	}
-	r.issued = append(r.issued, r.virtual)
-	r.count++
 	return waited
 }
 

@@ -45,11 +45,14 @@ type Evaluation struct {
 	Q25, Median, Q75 float64
 }
 
-// Evaluate summarizes outcomes against the ground truth. It panics on
-// an empty outcome set (an evaluation bug, not a runtime condition).
+// Evaluate summarizes outcomes against the ground truth. An empty
+// outcome set (every run failed, e.g. the budget died before a single
+// sample) yields a zero Evaluation with Runs=0 and NaN coverage
+// rather than a panic, so figure generation degrades to empty rows
+// instead of crashing.
 func Evaluate(truth float64, outcomes []RunOutcome) Evaluation {
 	if len(outcomes) == 0 {
-		panic("stats: Evaluate with no outcomes")
+		return Evaluation{Truth: truth, Coverage: math.NaN()}
 	}
 	n := float64(len(outcomes))
 	ev := Evaluation{Runs: len(outcomes), Truth: truth}

@@ -60,13 +60,31 @@ func TestEvaluateNoCI(t *testing.T) {
 	}
 }
 
-func TestEvaluateEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("empty evaluation did not panic")
-		}
-	}()
-	Evaluate(1, nil)
+// TestEvaluateEmptyIsZero: zero successful outcomes (e.g. every run's
+// budget died before its first sample) must degrade to a zero-valued
+// Evaluation rather than crash figure generation.
+func TestEvaluateEmptyIsZero(t *testing.T) {
+	ev := Evaluate(42, nil)
+	if ev.Runs != 0 {
+		t.Errorf("Runs = %d, want 0", ev.Runs)
+	}
+	if ev.Truth != 42 {
+		t.Errorf("Truth = %v, want 42", ev.Truth)
+	}
+	if ev.Mean != 0 || ev.MSE != 0 || ev.Variance != 0 || ev.MeanQueries != 0 {
+		t.Errorf("non-zero summary over no outcomes: %+v", ev)
+	}
+	if !math.IsNaN(ev.Coverage) {
+		t.Errorf("coverage over no outcomes should be NaN: %v", ev.Coverage)
+	}
+	// It must render and score without panicking too.
+	_ = ev.String()
+	if z := ev.BiasSignificance(); z != 0 {
+		t.Errorf("bias significance over no outcomes: %v", z)
+	}
+	if ev2 := Evaluate(0, []RunOutcome{}); ev2.Runs != 0 {
+		t.Errorf("empty non-nil slice: %+v", ev2)
+	}
 }
 
 func TestMSEDecompositionProperty(t *testing.T) {

@@ -39,6 +39,9 @@
 //     (independent estimator forks) and merge their accumulator
 //     states; against a latency-bound remote service the wall-clock
 //     time shrinks almost linearly in n.
+//   - WithBatch(m) — draw up to m point samples per oracle call
+//     through the batch query path (see below), amortizing network
+//     round-trips and budget/limiter synchronization.
 //
 // Every query path takes a context.Context: canceling it stops the
 // run gracefully and returns the Results of the samples completed so
@@ -47,6 +50,34 @@
 // Estimation runs take Aggregate specs (Count, SumAttr, CountTag,
 // CountWhere, ...) and return Results with Bessel-corrected standard
 // errors, confidence intervals and full estimate-versus-cost traces.
+//
+// # Batch queries and answer caching
+//
+// The paper's cost model makes the kNN interface — not computation —
+// the scarce resource, so the access layer spends it carefully:
+//
+//   - Batching. Every oracle answers multi-point batches
+//     (QueryLRBatch/QueryLNRBatch): the simulator charges a batch
+//     under one atomic budget reservation and one rate-limiter lock
+//     round-trip, and the HTTP adapter ships a batch as one POST
+//     (/v1/query/lr:batch) instead of one GET per point. Answers are
+//     index-aligned with the points; when the budget dies mid-batch,
+//     the covered prefix is answered (nil marks the rest) alongside
+//     ErrBudgetExhausted. Each answered point still costs one query —
+//     batching buys round-trips, never budget.
+//
+//   - Caching. NewCachedOracle layers a concurrent sharded LRU over
+//     any oracle, keyed by (quantized point, k, selection). Hits
+//     replay recorded answers without consuming budget or limiter
+//     quota; Stats() exposes hit/miss/eviction counters for cost
+//     accounting. Caching models client-side memoization of answers
+//     already paid for — it does not change the simulated service
+//     contract, and estimates over a cached oracle are identical to
+//     uncached runs (with Quantum=0), just cheaper on workloads that
+//     repeat query points. Queries carrying a functional filter only
+//     use the cache when CacheOptions.TrustFilter declares the filter
+//     fixed; otherwise they bypass it, so a cache shared by
+//     differently filtered callers can never replay a wrong answer.
 //
 // # Bring your own service
 //
@@ -58,7 +89,8 @@
 // adapter (NewHTTPClient). To target a real LBS, implement a thin
 // adapter that forwards QueryLR/QueryLNR to the provider's API and
 // construct the estimators over it; honor the context so runs stay
-// cancellable.
+// cancellable. Adapters may additionally implement BatchOracle to
+// serve WithBatch runs in one round-trip per batch.
 //
 // # Quick start
 //
@@ -171,13 +203,39 @@ func NameFilter(name string) Filter { return lbs.NameFilter(name) }
 // implements it, and so does the HTTP client adapter.
 type Oracle = core.Oracle
 
+// BatchOracle is an Oracle with a native multi-point query path;
+// *Service, *CachedOracle and the HTTP client all implement it.
+type BatchOracle = core.BatchOracle
+
+// Querier is the full service-side query surface (point + batch
+// queries); both the simulator and cache wrappers satisfy it.
+type Querier = lbs.Querier
+
+// Answer-cache types (client-side memoization over any Querier).
+type (
+	// CachedOracle memoizes answers in a concurrent sharded LRU.
+	CachedOracle = lbs.CachedOracle
+	// CacheOptions configures capacity, sharding, point quantization
+	// and the selection label of a CachedOracle.
+	CacheOptions = lbs.CacheOptions
+	// CacheStats snapshots hit/miss/eviction counters.
+	CacheStats = lbs.CacheStats
+)
+
+// NewCachedOracle wraps a Querier with an answer cache: hits replay
+// recorded answers without consuming budget.
+func NewCachedOracle(inner Querier, opts CacheOptions) *CachedOracle {
+	return lbs.NewCachedOracle(inner, opts)
+}
+
 // HTTPSelection is the declarative server-side filter of the HTTP
 // wire protocol.
 type HTTPSelection = httpapi.Selection
 
-// NewHTTPServer exposes a simulated service over HTTP (see
-// cmd/lbsserve for a runnable server).
-func NewHTTPServer(svc *Service) http.Handler { return httpapi.NewServer(svc) }
+// NewHTTPServer exposes a service backend over HTTP (see cmd/lbsserve
+// for a runnable server). Any Querier serves: the raw simulator or a
+// CachedOracle gateway in front of it.
+func NewHTTPServer(svc Querier) http.Handler { return httpapi.NewServer(svc) }
 
 // NewHTTPClient connects to an HTTP-exposed service and returns an
 // Oracle the estimators can run against — the template for adapting
@@ -232,7 +290,13 @@ var (
 	WithProgress = core.WithProgress
 	// WithParallelism samples from n concurrent estimator forks.
 	WithParallelism = core.WithParallelism
+	// WithBatch draws up to m samples per oracle round-trip.
+	WithBatch = core.WithBatch
 )
+
+// The HTTP client adapter serves the batch path too, so WithBatch
+// collapses m remote queries into one POST.
+var _ BatchOracle = (*httpapi.Client)(nil)
 
 // NewLRAggregator builds the unbiased location-returned estimator
 // over any Oracle (the in-process simulator or a remote adapter).
