@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test bench bench-throughput
+.PHONY: all vet build test bench bench-throughput bench-geom bench-json bench-smoke
 
 all: vet build test
 
@@ -24,3 +24,28 @@ bench:
 # The batch=32 row should show a multiple of the batch=1 queries/s.
 bench-throughput:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeThroughput' -benchtime 2s ./internal/httpapi
+
+# The geometry-engine benchmark suite: cell clipping, kd-tree search,
+# the simulated oracle hot path, ground-truth diagram construction and
+# one end-to-end estimator sample.
+GEOM_BENCH = BenchmarkAddCut|BenchmarkReplaceCut|BenchmarkInsertSites|BenchmarkBuildTop|BenchmarkRandomPoint|BenchmarkSplit|BenchmarkEvalRange|BenchmarkKNN|BenchmarkBuild10k|BenchmarkCompute10k|BenchmarkQueryLR|BenchmarkLRSample|BenchmarkLRCellComputation
+GEOM_PKGS = ./internal/geom ./internal/cell ./internal/kdtree ./internal/lbs ./internal/voronoi ./internal/core
+
+bench-geom:
+	$(GO) test -run '^$$' -bench '$(GEOM_BENCH)' -benchmem $(GEOM_PKGS)
+
+# bench-json runs the geometry suite and records it in BENCH_geom.json
+# (ns/op, B/op, allocs/op, custom metrics like queries/sample and q/s).
+# An existing file's baseline block is preserved, so the numbers
+# recorded at the start of the perf trajectory remain the reference.
+# The bench output goes through a file, not a pipe, so a failing
+# benchmark fails the target instead of being masked by the pipeline.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(GEOM_BENCH)' -benchmem $(GEOM_PKGS) > bench_geom.out
+	$(GO) run ./cmd/benchjson -o BENCH_geom.json < bench_geom.out
+	@rm -f bench_geom.out
+
+# bench-smoke compiles and runs every benchmark once — the CI guard
+# that keeps bench code from rotting.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -18,6 +18,19 @@
 // membership tests, per-h sub-areas (λ_h upper bounds for the variance
 // reduction of §3.2.3), and uniform random sampling (for the
 // Monte-Carlo device of §3.2.4).
+//
+// # Allocation discipline
+//
+// Cut insertion is the innermost loop of every estimator sample, so the
+// complex recycles its own storage: face polygons are drawn from a
+// per-complex free list, faces are double-buffered across AddCut
+// passes, and each face caches its bounding box and area so cuts that
+// cannot touch a face are rejected in O(1) without splitting. Steady-
+// state insertion (and Reset + re-insertion) performs no heap
+// allocation. The flip side of recycling is aliasing: slices returned
+// by Faces() — including the face polygons themselves — are valid only
+// until the next mutating call (AddCut, ReplaceCut, InsertSites,
+// Reset); callers that need longer-lived views must copy.
 package cell
 
 import (
@@ -30,11 +43,26 @@ import (
 
 // Face is one convex piece of the subdivision. Count is the number of
 // registered cuts whose far side (closer to the cut's other tuple than
-// to the target) contains the face.
+// to the target) contains the face. The bounding box and area of Poly
+// are cached at construction for the fast-reject test and incremental
+// area maintenance.
 type Face struct {
 	Poly  geom.Polygon
 	Count int
+	bbox  geom.Rect
+	area  float64
 }
+
+// newFace builds a face with its cached bounding box and area.
+func newFace(poly geom.Polygon, count int) Face {
+	return Face{Poly: poly, Count: count, bbox: poly.BoundingRect(), area: poly.Area()}
+}
+
+// Area returns the face's cached polygon area.
+func (f *Face) Area() float64 { return f.area }
+
+// Bounds returns the face's cached bounding rectangle.
+func (f *Face) Bounds() geom.Rect { return f.bbox }
 
 // Cut is one oriented bisector: the negative side of Line is the side
 // closer to the target tuple t. Key identifies the other tuple (an ID
@@ -54,8 +82,15 @@ type Complex struct {
 	bound geom.Polygon
 	faces []Face
 	cuts  map[int64]geom.Line
-	// cachedArea < 0 means dirty.
+	// cachedArea is maintained incrementally: faces entering or leaving
+	// the region add or subtract their cached polygon area.
 	cachedArea float64
+
+	// Recycled storage (see the package comment): facesBuf is the
+	// double buffer AddCut writes into, polyPool the free list of
+	// polygon backing arrays.
+	facesBuf []Face
+	polyPool []geom.Polygon
 }
 
 // New returns a complex over the given convex bounding polygon for the
@@ -67,13 +102,15 @@ func New(bound geom.Polygon, k int) *Complex {
 	if bound.Area() < geom.Eps {
 		panic("cell: degenerate bounding polygon")
 	}
-	return &Complex{
-		k:          k,
-		bound:      bound.Clone(),
-		faces:      []Face{{Poly: bound.Clone(), Count: 0}},
-		cuts:       make(map[int64]geom.Line),
-		cachedArea: -1,
+	c := &Complex{
+		k:     k,
+		bound: bound.Clone(),
+		cuts:  make(map[int64]geom.Line),
 	}
+	f := newFace(bound.Clone(), 0)
+	c.faces = []Face{f}
+	c.cachedArea = f.area
+	return c
 }
 
 // NewFromRect is a convenience wrapper building the complex over a
@@ -116,6 +153,41 @@ func (c *Complex) CutKeys() []int64 {
 	return keys
 }
 
+// allocPoly pops a recycled polygon backing array from the free list
+// (nil when the list is empty — append then allocates once and the
+// grown array joins the list on release).
+func (c *Complex) allocPoly() geom.Polygon {
+	if n := len(c.polyPool); n > 0 {
+		p := c.polyPool[n-1]
+		c.polyPool = c.polyPool[:n-1]
+		return p
+	}
+	return nil
+}
+
+// freePoly returns a polygon backing array to the free list.
+func (c *Complex) freePoly(p geom.Polygon) {
+	if cap(p) == 0 {
+		return
+	}
+	c.polyPool = append(c.polyPool, p[:0])
+}
+
+// Reset returns the complex to its initial cut-free state while
+// retaining all allocated capacity (cut map buckets, face buffers,
+// polygon free list, site scratch), so repeated build/reset cycles on
+// one complex are allocation-free in steady state.
+func (c *Complex) Reset() {
+	for i := range c.faces {
+		c.freePoly(c.faces[i].Poly)
+	}
+	clear(c.cuts)
+	p := append(c.allocPoly()[:0], c.bound...)
+	f := newFace(p, 0)
+	c.faces = append(c.faces[:0], f)
+	c.cachedArea = f.area
+}
+
 // AddCut registers a new oriented bisector and refines the subdivision:
 // every face is split by the cut; the piece on the far (positive) side
 // has its count incremented and is dropped once the count reaches k.
@@ -126,44 +198,217 @@ func (c *Complex) AddCut(cut Cut) bool {
 		return false
 	}
 	c.cuts[cut.Key] = cut.Line
+	return c.applyCut(cut.Line)
+}
+
+// applyCut refines every face by an already-registered line. Faces
+// whose cached bounding box lies entirely on one side of the line are
+// classified in O(1); only genuinely crossed faces are split, into
+// pooled buffers.
+func (c *Complex) applyCut(line geom.Line) bool {
 	changed := false
-	out := c.faces[:0:0]
+	out := c.facesBuf[:0]
 	for _, f := range c.faces {
-		neg, pos := f.Poly.Split(cut.Line)
-		if pos == nil {
+		lo, hi := line.EvalRange(f.bbox)
+		if hi <= geom.Eps {
 			// Entire face on the near side: unchanged.
 			out = append(out, f)
 			continue
 		}
+		if lo >= -geom.Eps {
+			// Entire face on the far side.
+			changed = true
+			if f.Count+1 <= c.k-1 {
+				f.Count++
+				out = append(out, f)
+			} else {
+				c.cachedArea -= f.area
+				c.freePoly(f.Poly)
+			}
+			continue
+		}
+		negDst, posDst := c.allocPoly(), c.allocPoly()
+		neg, pos, crossed := f.Poly.SplitInto(line, negDst, posDst)
+		if !crossed {
+			// The bounding box straddles the line but the polygon does
+			// not: same one-sided handling as above.
+			c.freePoly(negDst)
+			c.freePoly(posDst)
+			if pos == nil {
+				out = append(out, f)
+				continue
+			}
+			changed = true
+			if f.Count+1 <= c.k-1 {
+				f.Count++
+				out = append(out, f)
+			} else {
+				c.cachedArea -= f.area
+				c.freePoly(f.Poly)
+			}
+			continue
+		}
+		if pos == nil {
+			// The far piece was a sub-Eps sliver: the face is
+			// effectively untouched (legacy Split semantics).
+			c.freePoly(negDst)
+			c.freePoly(posDst)
+			out = append(out, f)
+			continue
+		}
 		changed = true
+		c.cachedArea -= f.area
+		c.freePoly(f.Poly)
 		if neg != nil {
-			out = append(out, Face{Poly: neg, Count: f.Count})
+			nf := newFace(neg, f.Count)
+			c.cachedArea += nf.area
+			out = append(out, nf)
+		} else {
+			c.freePoly(negDst)
 		}
 		if f.Count+1 <= c.k-1 {
-			out = append(out, Face{Poly: pos, Count: f.Count + 1})
+			pf := newFace(pos, f.Count+1)
+			c.cachedArea += pf.area
+			out = append(out, pf)
+		} else {
+			c.freePoly(pos)
 		}
 	}
+	c.facesBuf = c.faces[:0]
 	c.faces = out
-	c.cachedArea = -1
 	return changed
 }
 
 // ReplaceCut removes the cut with the given key (if any) and re-adds it
-// with a refined line. Because faces cannot be un-split incrementally,
-// the complex is rebuilt from all registered cuts. Used by the LNR
-// algorithm when a binary search produces a more precise estimate of an
-// edge already discovered.
+// with a refined line. Used by the LNR algorithm when a binary search
+// produces a more precise estimate of an edge already discovered.
+//
+// The replacement is incremental: only the wedge of the bound where the
+// old and new lines disagree about sidedness is re-derived. Face pieces
+// outside the wedge keep their counts verbatim; the (thin) wedge pieces
+// are rebuilt from scratch against the full cut set, which also
+// restores any region the refined line hands back — no full-complex
+// rebuild, whose cost LNR's per-refinement calls cannot afford.
 func (c *Complex) ReplaceCut(cut Cut) {
+	old, had := c.cuts[cut.Key]
 	c.cuts[cut.Key] = cut.Line
-	c.rebuild()
+	if !had {
+		c.applyCut(cut.Line)
+		return
+	}
+	if old == cut.Line {
+		return
+	}
+	// The disagreement wedge, as two convex pieces of the bound:
+	// retreat {old far, new near} (counts decrease there) and advance
+	// {old near, new far} (counts increase there).
+	retreat := c.bound.Clip(old.Flip().HalfPlane()).Clip(cut.Line.HalfPlane())
+	advance := c.bound.Clip(old.HalfPlane()).Clip(cut.Line.Flip().HalfPlane())
+	if retreat == nil && advance == nil {
+		return // indistinguishable within the bound
+	}
+	// Drop every face piece inside the wedge, keeping outside pieces
+	// (whose counts are unaffected by the replacement) verbatim.
+	out := c.facesBuf[:0]
+	for _, f := range c.faces {
+		out = c.keepOutsideWedge(out, f, old, cut.Line)
+	}
+	c.facesBuf = c.faces[:0]
+	c.faces = out
+	// Re-derive the wedge interior against the full (updated) cut set.
+	c.rebuildWedge(retreat)
+	c.rebuildWedge(advance)
+}
+
+// keepOutsideWedge appends to out the pieces of face f on which the old
+// and new lines agree, discarding (and recycling) the wedge pieces.
+// Faces are wholly on one side of every registered line by
+// construction, so the common case is a single O(1) classification
+// against the old line followed by one split against the new one.
+func (c *Complex) keepOutsideWedge(out []Face, f Face, old, refined geom.Line) []Face {
+	lo, hi := old.EvalRange(f.bbox)
+	var farOld bool
+	switch {
+	case hi <= geom.Eps:
+		farOld = false
+	case lo >= -geom.Eps:
+		farOld = true
+	default:
+		// Sliver-level ambiguity: resolve by majority of vertex evals.
+		var s float64
+		for _, p := range f.Poly {
+			s += old.Eval(p)
+		}
+		farOld = s > 0
+	}
+	negDst, posDst := c.allocPoly(), c.allocPoly()
+	neg, pos, crossed := f.Poly.SplitInto(refined, negDst, posDst)
+	if !crossed {
+		c.freePoly(negDst)
+		c.freePoly(posDst)
+		if (pos != nil) == farOld {
+			return append(out, f) // sides agree: outside the wedge
+		}
+		c.cachedArea -= f.area
+		c.freePoly(f.Poly)
+		return out
+	}
+	keep, keepDst, dropDst := neg, negDst, posDst
+	if farOld {
+		keep, keepDst, dropDst = pos, posDst, negDst
+	}
+	c.cachedArea -= f.area
+	c.freePoly(f.Poly)
+	c.freePoly(dropDst)
+	if keep != nil {
+		kf := newFace(keep, f.Count)
+		c.cachedArea += kf.area
+		out = append(out, kf)
+	} else {
+		c.freePoly(keepDst)
+	}
+	return out
+}
+
+// rebuildWedge reconstructs the subdivision inside one convex wedge
+// piece from the full registered cut set and splices the resulting
+// region faces into the complex.
+func (c *Complex) rebuildWedge(w geom.Polygon) {
+	if len(w) < 3 || w.Area() < geom.Eps {
+		return
+	}
+	// Clip can return the receiver unchanged; the sub-complex takes
+	// ownership of its bound, so detach from c.bound in that case.
+	if &w[0] == &c.bound[0] {
+		w = w.Clone()
+	}
+	sub := &Complex{
+		k:          c.k,
+		bound:      w,
+		cuts:       make(map[int64]geom.Line, len(c.cuts)),
+		cachedArea: w.Area(),
+	}
+	sub.faces = []Face{newFace(w, 0)}
+	for _, key := range c.CutKeys() {
+		sub.AddCut(Cut{Line: c.cuts[key], Key: key})
+	}
+	for _, f := range sub.faces {
+		c.faces = append(c.faces, f)
+		c.cachedArea += f.area
+	}
 }
 
 // rebuild reconstructs the subdivision from the bound and the current
-// cut set.
+// cut set (kept as the reference implementation; the incremental paths
+// are validated against it in tests).
 func (c *Complex) rebuild() {
-	c.faces = []Face{{Poly: c.bound.Clone(), Count: 0}}
 	cuts := c.cuts
 	c.cuts = make(map[int64]geom.Line, len(cuts))
+	f := newFace(c.bound.Clone(), 0)
+	c.faces = []Face{f}
+	c.cachedArea = f.area
+	c.facesBuf = nil
+	c.polyPool = nil
 	// Insert in sorted-key order for determinism.
 	keys := make([]int64, 0, len(cuts))
 	for k := range cuts {
@@ -173,20 +418,15 @@ func (c *Complex) rebuild() {
 	for _, k := range keys {
 		c.AddCut(Cut{Line: cuts[k], Key: k})
 	}
-	c.cachedArea = -1
 }
 
-// Area returns the exact area of the region (faces with count ≤ k−1).
+// Area returns the exact area of the region (faces with count ≤ k−1),
+// maintained incrementally across cut operations.
 func (c *Complex) Area() float64 {
-	if c.cachedArea >= 0 {
-		return c.cachedArea
+	if c.cachedArea < 0 {
+		return 0 // guard against accumulated float drift near empty
 	}
-	var a float64
-	for _, f := range c.faces {
-		a += f.Poly.Area()
-	}
-	c.cachedArea = a
-	return a
+	return c.cachedArea
 }
 
 // AreaAtMost returns the area of the sub-region with count ≤ h−1, i.e.
@@ -198,9 +438,9 @@ func (c *Complex) AreaAtMost(h int) float64 {
 		return c.Area()
 	}
 	var a float64
-	for _, f := range c.faces {
-		if f.Count <= h-1 {
-			a += f.Poly.Area()
+	for i := range c.faces {
+		if c.faces[i].Count <= h-1 {
+			a += c.faces[i].area
 		}
 	}
 	return a
@@ -238,8 +478,10 @@ func (c *Complex) CloserCount(p geom.Point) int {
 	return count
 }
 
-// Faces returns the current faces. The returned slice is shared; treat
-// it as read-only.
+// Faces returns the current faces. The returned slice and the face
+// polygons share the complex's recycled storage: treat them as
+// read-only and only valid until the next mutating call (AddCut,
+// ReplaceCut, InsertSites, Reset).
 func (c *Complex) Faces() []Face { return c.faces }
 
 // Vertices returns the deduplicated vertex set of all faces of the
@@ -295,12 +537,12 @@ func (c *Complex) RandomPoint(rng *rand.Rand) (geom.Point, bool) {
 		return geom.Point{}, false
 	}
 	target := rng.Float64() * total
-	for _, f := range c.faces {
-		a := f.Poly.Area()
-		if target < a {
+	for i := range c.faces {
+		f := &c.faces[i]
+		if target < f.area {
 			return geom.RandomInPolygon(rng, f.Poly), true
 		}
-		target -= a
+		target -= f.area
 	}
 	// Floating point slack: fall back to the last face.
 	last := c.faces[len(c.faces)-1]
@@ -332,23 +574,26 @@ func (c *Complex) WithK(h int) *Complex {
 		panic("cell: WithK h must be ≥ 1")
 	}
 	out := &Complex{
-		k:          h,
-		bound:      c.bound.Clone(),
-		cuts:       make(map[int64]geom.Line, len(c.cuts)),
-		cachedArea: -1,
+		k:     h,
+		bound: c.bound.Clone(),
+		cuts:  make(map[int64]geom.Line, len(c.cuts)),
 	}
 	for k, l := range c.cuts {
 		out.cuts[k] = l
 	}
 	for _, f := range c.faces {
 		if f.Count <= h-1 {
-			out.faces = append(out.faces, Face{Poly: f.Poly.Clone(), Count: f.Count})
+			nf := f
+			nf.Poly = f.Poly.Clone()
+			out.faces = append(out.faces, nf)
+			out.cachedArea += nf.area
 		}
 	}
 	return out
 }
 
-// Clone returns a deep copy of the complex.
+// Clone returns a deep copy of the complex (recycled-storage pools are
+// not shared; the clone starts with empty ones).
 func (c *Complex) Clone() *Complex {
 	out := &Complex{
 		k:          c.k,
@@ -358,7 +603,8 @@ func (c *Complex) Clone() *Complex {
 		cachedArea: c.cachedArea,
 	}
 	for i, f := range c.faces {
-		out.faces[i] = Face{Poly: f.Poly.Clone(), Count: f.Count}
+		out.faces[i] = f
+		out.faces[i].Poly = f.Poly.Clone()
 	}
 	for k, l := range c.cuts {
 		out.cuts[k] = l

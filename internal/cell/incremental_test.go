@@ -1,0 +1,236 @@
+package cell
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// freshWithCuts builds a new complex with the same bound, k and cut
+// set as c, inserting cuts in sorted key order — the reference result
+// an incremental operation must match.
+func freshWithCuts(c *Complex) *Complex {
+	out := New(c.Bound(), c.K())
+	for _, key := range c.CutKeys() {
+		l, _ := c.CutLine(key)
+		out.AddCut(Cut{Line: l, Key: key})
+	}
+	return out
+}
+
+// faceContains reports whether p lies in any face of the region.
+func faceContains(c *Complex, p geom.Point) bool {
+	for _, f := range c.Faces() {
+		if f.Poly.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// agreeOnSamples checks that two complexes with identical cut sets
+// agree (area and membership) within tolerance. Sample points near
+// subdivision edges are skipped via the cut-distance margin.
+func agreeOnSamples(t *testing.T, rng *rand.Rand, got, want *Complex, label string) {
+	t.Helper()
+	if g, w := got.Area(), want.Area(); !almost(g, w, 1e-7) {
+		t.Fatalf("%s: area mismatch: got %.12f want %.12f", label, g, w)
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := geom.RandomInRect(rng, unitBox)
+		margin := 1e-7
+		tooClose := false
+		for _, key := range want.CutKeys() {
+			l, _ := want.CutLine(key)
+			if l.Dist(p) < margin {
+				tooClose = true
+				break
+			}
+		}
+		if tooClose {
+			continue
+		}
+		if g, w := faceContains(got, p), faceContains(want, p); g != w {
+			t.Fatalf("%s: membership mismatch at %v: got %v want %v", label, p, g, w)
+		}
+	}
+}
+
+// TestReplaceCutIncrementalMatchesFresh refines random cuts repeatedly
+// and checks the incremental wedge path against a from-scratch build of
+// the same final cut set, for k = 1 and k > 1 (where replaced lines
+// can hand area back to the region).
+func TestReplaceCutIncrementalMatchesFresh(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(100 + k)))
+		for round := 0; round < 20; round++ {
+			target := geom.RandomInRect(rng, unitBox)
+			c := NewFromRect(unitBox, k)
+			sites := make([]geom.Point, 12)
+			for i := range sites {
+				sites[i] = geom.RandomInRect(rng, unitBox)
+				if sites[i].Dist(target) < 1e-3 {
+					sites[i] = sites[i].Add(geom.Pt(1e-2, 1e-2))
+				}
+				c.AddCut(Cut{Line: geom.Bisector(target, sites[i]), Key: int64(i)})
+			}
+			// Refine a few cuts with perturbed bisectors (the LNR
+			// binary-search pattern: lines move slightly, both ways).
+			for step := 0; step < 8; step++ {
+				i := rng.Intn(len(sites))
+				jitter := geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(0.02)
+				moved := sites[i].Add(jitter)
+				if moved.Dist(target) < 1e-3 {
+					continue
+				}
+				sites[i] = moved
+				c.ReplaceCut(Cut{Line: geom.Bisector(target, moved), Key: int64(i)})
+				agreeOnSamples(t, rng, c, freshWithCuts(c), "after replace")
+			}
+		}
+	}
+}
+
+// TestReplaceCutGrowsRegion replaces a cut with a strictly laxer line
+// and checks the handed-back area is recovered (the case a pure
+// re-split of surviving faces cannot handle).
+func TestReplaceCutGrowsRegion(t *testing.T) {
+	c := NewFromRect(unitBox, 1)
+	a := geom.Pt(0.2, 0.5)
+	c.AddCut(Cut{Line: geom.Bisector(a, geom.Pt(0.4, 0.5)), Key: 1})
+	shrunk := c.Area()
+	if !almost(shrunk, 0.3, 1e-9) {
+		t.Fatalf("setup area = %.9f, want 0.3", shrunk)
+	}
+	// Move the opposing site farther away: the cell must grow back.
+	c.ReplaceCut(Cut{Line: geom.Bisector(a, geom.Pt(0.8, 0.5)), Key: 1})
+	if got := c.Area(); !almost(got, 0.5, 1e-9) {
+		t.Fatalf("area after laxer replace = %.9f, want 0.5", got)
+	}
+}
+
+// TestReplaceCutUnknownKeyAdds preserves the legacy semantics that
+// replacing a never-registered key simply adds the cut.
+func TestReplaceCutUnknownKeyAdds(t *testing.T) {
+	c := NewFromRect(unitBox, 1)
+	c.ReplaceCut(Cut{Line: geom.Bisector(geom.Pt(0.25, 0.5), geom.Pt(0.75, 0.5)), Key: 9})
+	if got := c.Area(); !almost(got, 0.5, 1e-9) {
+		t.Fatalf("area = %.9f, want 0.5", got)
+	}
+	if !c.HasCut(9) {
+		t.Fatal("cut not registered")
+	}
+}
+
+// TestResetRestoresInitialState checks Reset brings the complex back to
+// the cut-free bound while preserving correctness of a rebuild.
+func TestResetRestoresInitialState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	target := geom.Pt(0.5, 0.5)
+	var cuts []Cut
+	for i := 0; i < 30; i++ {
+		s := geom.RandomInRect(rng, unitBox)
+		if s.Dist(target) < 1e-3 {
+			continue
+		}
+		cuts = append(cuts, Cut{Line: geom.Bisector(target, s), Key: int64(i)})
+	}
+	c := NewFromRect(unitBox, 2)
+	for _, cut := range cuts {
+		c.AddCut(cut)
+	}
+	want := c.Area()
+	c.Reset()
+	if got := c.Area(); !almost(got, 1, 1e-12) {
+		t.Fatalf("area after Reset = %.12f, want 1", got)
+	}
+	if c.NumCuts() != 0 || c.NumFaces() != 1 {
+		t.Fatalf("after Reset: %d cuts, %d faces", c.NumCuts(), c.NumFaces())
+	}
+	for _, cut := range cuts {
+		c.AddCut(cut)
+	}
+	if got := c.Area(); !almost(got, want, 1e-9) {
+		t.Fatalf("area after reset+reinsert = %.12f, want %.12f", got, want)
+	}
+}
+
+// TestAddCutSteadyStateAllocs asserts the headline contract of the
+// geometry-engine overhaul: once warm, a Reset + full cut re-insertion
+// cycle performs zero heap allocations.
+func TestAddCutSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	target := geom.Pt(0.5, 0.5)
+	var cuts []Cut
+	for i := 0; i < 40; i++ {
+		s := geom.RandomInRect(rng, unitBox)
+		if s.Dist(target) < 1e-3 {
+			continue
+		}
+		cuts = append(cuts, Cut{Line: geom.Bisector(target, s), Key: int64(i)})
+	}
+	c := NewFromRect(unitBox, 3)
+	insert := func() {
+		c.Reset()
+		for _, cut := range cuts {
+			c.AddCut(cut)
+		}
+	}
+	insert() // warm the pools
+	insert()
+	if allocs := testing.AllocsPerRun(10, insert); allocs != 0 {
+		t.Fatalf("steady-state AddCut cycle allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// TestIncrementalAreaMatchesFaceSum guards the incremental cachedArea
+// bookkeeping against drift relative to a direct face scan.
+func TestIncrementalAreaMatchesFaceSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range []int{1, 3} {
+		target := geom.RandomInRect(rng, unitBox)
+		c := NewFromRect(unitBox, k)
+		for i := 0; i < 60; i++ {
+			s := geom.RandomInRect(rng, unitBox)
+			if s.Dist(target) < 1e-3 {
+				continue
+			}
+			if i%7 == 3 && c.NumCuts() > 0 {
+				c.ReplaceCut(Cut{Line: geom.Bisector(target, s), Key: int64(i % 5)})
+			} else {
+				c.AddCut(Cut{Line: geom.Bisector(target, s), Key: int64(i)})
+			}
+			var sum float64
+			for _, f := range c.Faces() {
+				sum += f.Poly.Area()
+			}
+			if !almost(c.Area(), sum, 1e-9) {
+				t.Fatalf("k=%d cut %d: cached area %.12f, face sum %.12f", k, i, c.Area(), sum)
+			}
+		}
+	}
+}
+
+// TestInsertSitesBatchDuplicates verifies in-batch duplicate keys are
+// inserted once and produce the same region as a deduplicated batch.
+func TestInsertSitesBatchDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	target := geom.Pt(0.5, 0.5)
+	base := make([]Site, 0, 20)
+	for i := 0; i < 20; i++ {
+		base = append(base, Site{Key: int64(i), Loc: geom.RandomInRect(rng, unitBox)})
+	}
+	dup := make([]Site, 0, 3*len(base))
+	for rep := 0; rep < 3; rep++ {
+		dup = append(dup, base...)
+	}
+	a := BuildFromSites(unitBox.Polygon(), 2, target, base)
+	b := BuildFromSites(unitBox.Polygon(), 2, target, dup)
+	if !almost(a.Area(), b.Area(), 1e-12) {
+		t.Fatalf("area with dups %.12f != without %.12f", b.Area(), a.Area())
+	}
+	if a.NumCuts() != b.NumCuts() {
+		t.Fatalf("cuts with dups %d != without %d", b.NumCuts(), a.NumCuts())
+	}
+}

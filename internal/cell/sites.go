@@ -1,7 +1,8 @@
 package cell
 
 import (
-	"sort"
+	"math"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -31,33 +32,97 @@ func BuildFromSites(bound geom.Polygon, k int, target geom.Point, sites []Site) 
 	return c
 }
 
+// siteDist is one filtered batch entry with its precomputed squared
+// distance, so the sort comparator does no arithmetic.
+type siteDist struct {
+	site Site
+	d2   float64
+}
+
+// insertScratch is the reusable per-call working set of InsertSites.
+// Pooled package-wide (not per complex) so one-shot BuildFromSites
+// callers reach steady state too; sync.Pool keeps concurrent estimator
+// workers from contending.
+type insertScratch struct {
+	ordered []siteDist
+}
+
+var insertPool = sync.Pool{New: func() any { return new(insertScratch) }}
+
 // InsertSites adds bisector cuts between target and each site into an
 // existing complex, using the distance-ordered pruning rule described
-// at BuildFromSites. Sites whose Key is already registered, or that
-// coincide with the target within Eps, are skipped. It returns the
-// number of cuts that changed the region.
+// at BuildFromSites. Sites whose Key is already registered or that
+// coincide with the target within Eps are filtered out up front;
+// duplicate keys within the batch itself are eliminated during the
+// distance-ordered consumption: identical duplicates pop from the
+// distance heap back-to-back (equal distance, equal key) and are
+// skipped in O(1), and any exotic same-key stragglers are absorbed by
+// AddCut's own key registry. No per-batch map is built — hashing every
+// site cost more than the duplicates it saved (ground-truth ring
+// gathering calls this with thousands of small, dup-free batches).
+// The working set comes from a package-level pool and is reused across
+// calls. It returns the number of cuts that changed the region.
 func InsertSites(c *Complex, target geom.Point, sites []Site) int {
-	ordered := make([]Site, 0, len(sites))
+	sc := insertPool.Get().(*insertScratch)
+	ordered := sc.ordered[:0]
 	for _, s := range sites {
-		if c.HasCut(s.Key) || s.Loc.Dist(target) < geom.Eps {
+		d2 := s.Loc.Dist2(target)
+		if d2 < geom.Eps*geom.Eps || c.HasCut(s.Key) {
 			continue
 		}
-		ordered = append(ordered, s)
+		ordered = append(ordered, siteDist{site: s, d2: d2})
 	}
-	sort.Slice(ordered, func(i, j int) bool {
-		return target.Dist2(ordered[i].Loc) < target.Dist2(ordered[j].Loc)
-	})
+	// Lazy distance ordering: the pruning rule usually stops after the
+	// nearest handful of sites, so a heapify + pop loop beats a full
+	// sort of the batch (O(n + m log n) for m consumed sites).
+	heapifySites(ordered)
 	changed := 0
 	maxDist := c.MaxDistFrom(target)
-	for _, s := range ordered {
-		d := target.Dist(s.Loc)
-		if d > 2*maxDist+geom.Eps {
+	lastKey := int64(math.MinInt64)
+	for n := len(ordered); n > 0; n-- {
+		sd := ordered[0]
+		reach := 2*maxDist + geom.Eps
+		if sd.d2 > reach*reach {
 			break
 		}
-		if c.AddCut(Cut{Line: geom.Bisector(target, s.Loc), Key: s.Key}) {
+		ordered[0] = ordered[n-1]
+		siftDownSite(ordered[:n-1], 0)
+		if sd.site.Key == lastKey {
+			continue // in-batch duplicate: identical entries pop adjacently
+		}
+		lastKey = sd.site.Key
+		if c.AddCut(Cut{Line: geom.Bisector(target, sd.site.Loc), Key: sd.site.Key}) {
 			changed++
 			maxDist = c.MaxDistFrom(target)
 		}
 	}
+	sc.ordered = ordered
+	insertPool.Put(sc)
 	return changed
+}
+
+// heapifySites arranges s as a binary min-heap on d2.
+func heapifySites(s []siteDist) {
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		siftDownSite(s, i)
+	}
+}
+
+// siftDownSite restores the min-heap property below index i.
+func siftDownSite(s []siteDist, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			return
+		}
+		least := l
+		if r := l + 1; r < len(s) && s[r].d2 < s[l].d2 {
+			least = r
+		}
+		if s[i].d2 <= s[least].d2 {
+			return
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
 }

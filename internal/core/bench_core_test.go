@@ -27,6 +27,28 @@ func BenchmarkLRCellComputation(b *testing.B) {
 	b.ReportMetric(float64(svc.QueryCount())/float64(agg.Stats().Samples), "queries/sample")
 }
 
+// BenchmarkLRSample measures one end-to-end LR estimator sample
+// (query + cell computations for every exploited tuple) against the
+// in-process oracle — the headline number of the geometry-engine
+// overhaul, tracked in BENCH_geom.json.
+func BenchmarkLRSample(b *testing.B) {
+	db := smallService2(2000, 29)
+	svc := lbs.NewService(db, lbs.Options{K: 5})
+	agg := NewLRAggregator(svc, DefaultLROptions(1))
+	// Warm the history so the benchmark reflects steady state.
+	if _, err := agg.Run(context.Background(), []Aggregate{Count()}, WithMaxSamples(50)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Step(context.Background(), []Aggregate{Count()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(svc.QueryCount())/float64(agg.Stats().Samples), "queries/sample")
+}
+
 // BenchmarkLNRCellInference measures one rank-only sample (cell
 // inference via binary search).
 func BenchmarkLNRCellInference(b *testing.B) {

@@ -76,6 +76,26 @@ func (l Line) Intersect(m Line) (Point, bool) {
 // Flip returns the same geometric line with the normal reversed.
 func (l Line) Flip() Line { return Line{A: -l.A, B: -l.B, C: -l.C} }
 
+// EvalRange returns the minimum and maximum of l.Eval over rectangle r
+// in O(1): the extrema of a linear function over a box are attained at
+// the corners selected by the signs of the normal components. It is the
+// fast-reject primitive of cell-complex cut insertion: a face whose
+// bounding box evaluates entirely on one side of a cut cannot be split
+// by it.
+func (l Line) EvalRange(r Rect) (lo, hi float64) {
+	if l.A >= 0 {
+		lo, hi = l.A*r.Min.X, l.A*r.Max.X
+	} else {
+		lo, hi = l.A*r.Max.X, l.A*r.Min.X
+	}
+	if l.B >= 0 {
+		lo, hi = lo+l.B*r.Min.Y, hi+l.B*r.Max.Y
+	} else {
+		lo, hi = lo+l.B*r.Max.Y, hi+l.B*r.Min.Y
+	}
+	return lo - l.C, hi - l.C
+}
+
 // HalfPlane returns the half-plane on the negative side of l
 // ({p : l.Eval(p) ≤ 0}).
 func (l Line) HalfPlane() HalfPlane { return HalfPlane{Line: l} }

@@ -91,32 +91,52 @@ func (poly Polygon) Clip(h HalfPlane) Polygon {
 // estimation algorithms tolerate (the bounding regions involved have
 // areas many orders of magnitude above Eps).
 func (poly Polygon) Split(l Line) (neg, pos Polygon) {
+	neg, pos, _ = poly.SplitInto(l, nil, nil)
+	return neg, pos
+}
+
+// SplitInto is Split with caller-provided storage: when the cut crosses
+// the polygon, the two pieces are appended into negBuf[:0] and
+// posBuf[:0] (whose capacity is reused; nil buffers degrade to fresh
+// allocations) and crossed is true. When the polygon lies entirely on
+// one side of the line (within Eps), the polygon itself is returned on
+// that side with the buffers untouched and crossed = false, so callers
+// can keep the original without copying.
+//
+// The returned pieces alias the buffers; they remain valid only until
+// the buffers' next reuse. Steady-state cut insertion in internal/cell
+// draws the buffers from a per-complex pool, making refinement
+// allocation-free.
+func (poly Polygon) SplitInto(l Line, negBuf, posBuf Polygon) (neg, pos Polygon, crossed bool) {
 	n := len(poly)
 	if n < 3 {
-		return nil, nil
+		return nil, nil, false
 	}
-	evals := make([]float64, n)
 	anyNeg, anyPos := false, false
-	for i, p := range poly {
-		evals[i] = l.Eval(p)
-		if evals[i] < -Eps {
+	for _, p := range poly {
+		e := l.Eval(p)
+		if e < -Eps {
 			anyNeg = true
-		} else if evals[i] > Eps {
+		} else if e > Eps {
 			anyPos = true
+		}
+		if anyNeg && anyPos {
+			break
 		}
 	}
 	if !anyPos {
-		return poly, nil
+		return poly, nil, false
 	}
 	if !anyNeg {
-		return nil, poly
+		return nil, poly, false
 	}
-	neg = make(Polygon, 0, n+1)
-	pos = make(Polygon, 0, n+1)
+	neg = negBuf[:0]
+	pos = posBuf[:0]
+	ea := l.Eval(poly[0])
 	for i := 0; i < n; i++ {
-		j := (i + 1) % n
-		a, b := poly[i], poly[j]
-		ea, eb := evals[i], evals[j]
+		a := poly[i]
+		b := poly[(i+1)%n]
+		eb := l.Eval(b)
 		switch {
 		case ea <= Eps && ea >= -Eps: // a on line: belongs to both
 			neg = append(neg, a)
@@ -133,16 +153,17 @@ func (poly Polygon) Split(l Line) (neg, pos Polygon) {
 			neg = append(neg, x)
 			pos = append(pos, x)
 		}
+		ea = eb
 	}
-	neg = neg.dedupe()
-	pos = pos.dedupe()
+	neg = neg.dedupeInPlace()
+	pos = pos.dedupeInPlace()
 	if neg.Area() < Eps {
 		neg = nil
 	}
 	if pos.Area() < Eps {
 		pos = nil
 	}
-	return neg, pos
+	return neg, pos, true
 }
 
 // dedupe removes consecutive (and wrap-around) duplicate vertices.
@@ -150,7 +171,16 @@ func (poly Polygon) dedupe() Polygon {
 	if len(poly) == 0 {
 		return nil
 	}
-	out := poly[:0:0]
+	return append(poly[:0:0], poly...).dedupeInPlace()
+}
+
+// dedupeInPlace is dedupe writing through the receiver's storage; the
+// receiver must own its backing array.
+func (poly Polygon) dedupeInPlace() Polygon {
+	if len(poly) == 0 {
+		return nil
+	}
+	out := poly[:0]
 	for _, p := range poly {
 		if len(out) == 0 || !out[len(out)-1].ApproxEq(p, Eps) {
 			out = append(out, p)

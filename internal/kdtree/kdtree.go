@@ -6,10 +6,18 @@
 //
 // The tree is built once over a static point set (LBS databases in the
 // paper are static) and is safe for concurrent readers.
+//
+// # Allocation contract
+//
+// The tree is the innermost dependency of every simulated oracle call,
+// so the query API has allocation-free entry points: KNNInto and
+// KNNWithinInto append into a caller-provided buffer (reusing its
+// capacity) and traverse iteratively with a fixed-size stack, so a
+// warm caller performs zero heap allocations per query. KNN/KNNWithin
+// are the convenience wrappers that allocate a fresh result slice.
 package kdtree
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -29,9 +37,18 @@ type node struct {
 }
 
 // Build constructs a tree over pts. Indices reported by searches refer
-// to positions in pts. Build copies the slice header but not the
-// points; callers must not mutate pts afterwards.
+// to positions in pts. Build copies the points, so the caller remains
+// free to mutate or reuse the input slice afterwards; use BuildOwned
+// to skip the copy when ownership is transferred.
 func Build(pts []geom.Point) *Tree {
+	return BuildOwned(append([]geom.Point(nil), pts...))
+}
+
+// BuildOwned constructs a tree that takes ownership of pts without
+// copying: the caller must not mutate the slice (or its backing array)
+// for the lifetime of the tree. Intended for construction-time callers
+// that build the point set privately, e.g. lbs.Database.
+func BuildOwned(pts []geom.Point) *Tree {
 	t := &Tree{pts: pts}
 	if len(pts) == 0 {
 		return t
@@ -46,20 +63,17 @@ func Build(pts []geom.Point) *Tree {
 }
 
 // build recursively partitions idx around the median along the given
-// axis and returns the node offset (−1 for empty).
+// axis and returns the node offset (−1 for empty). Median selection is
+// quickselect (expected O(n) per level, O(n log n) for the whole
+// build), and always places the median at len/2, so the tree is
+// perfectly balanced and traversal depth is bounded by ⌈log₂ n⌉+1.
 func (t *Tree) build(idx []int, depth int) int32 {
 	if len(idx) == 0 {
 		return -1
 	}
 	axis := uint8(depth % 2)
 	mid := len(idx) / 2
-	// Median selection via full sort of the sub-slice; Build is a
-	// one-time O(n log² n) cost dwarfed by the experiments themselves.
-	if axis == 0 {
-		sort.Slice(idx, func(a, b int) bool { return t.pts[idx[a]].X < t.pts[idx[b]].X })
-	} else {
-		sort.Slice(idx, func(a, b int) bool { return t.pts[idx[a]].Y < t.pts[idx[b]].Y })
-	}
+	t.selectMedian(idx, mid, axis)
 	off := int32(len(t.nodes))
 	t.nodes = append(t.nodes, node{idx: idx[mid], axis: axis})
 	left := t.build(idx[:mid], depth+1)
@@ -67,6 +81,72 @@ func (t *Tree) build(idx []int, depth int) int32 {
 	t.nodes[off].left = left
 	t.nodes[off].right = right
 	return off
+}
+
+// coord returns the build key of point index i along axis.
+func (t *Tree) coord(i int, axis uint8) float64 {
+	if axis == 0 {
+		return t.pts[i].X
+	}
+	return t.pts[i].Y
+}
+
+// selectMedian partially orders idx so that idx[nth] holds the element
+// of rank nth along axis, everything before it is ≤ and everything
+// after is ≥ (quickselect with median-of-three pivoting; insertion
+// sort below a small cutoff).
+func (t *Tree) selectMedian(idx []int, nth int, axis uint8) {
+	lo, hi := 0, len(idx)-1
+	for hi-lo > 12 {
+		// Median-of-three pivot, stored at lo.
+		m := lo + (hi-lo)/2
+		if t.coord(idx[m], axis) < t.coord(idx[lo], axis) {
+			idx[m], idx[lo] = idx[lo], idx[m]
+		}
+		if t.coord(idx[hi], axis) < t.coord(idx[lo], axis) {
+			idx[hi], idx[lo] = idx[lo], idx[hi]
+		}
+		if t.coord(idx[hi], axis) < t.coord(idx[m], axis) {
+			idx[hi], idx[m] = idx[m], idx[hi]
+		}
+		idx[lo], idx[m] = idx[m], idx[lo]
+		pivot := t.coord(idx[lo], axis)
+		// Hoare partition.
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || t.coord(idx[i], axis) >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if t.coord(idx[j], axis) <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		idx[lo], idx[j] = idx[j], idx[lo]
+		switch {
+		case j == nth:
+			return
+		case j < nth:
+			lo = j + 1
+		default:
+			hi = j - 1
+		}
+	}
+	// Insertion sort on the remaining window.
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && t.coord(idx[j], axis) < t.coord(idx[j-1], axis); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 }
 
 // Len returns the number of indexed points.
@@ -82,38 +162,160 @@ type Neighbor struct {
 	Dist  float64
 }
 
-// maxHeap over neighbor distances (root = farthest), for kNN pruning.
-type maxHeap []Neighbor
-
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	out := old[n-1]
-	*h = old[:n-1]
-	return out
+// nbWorse is the max-heap / sort order of the search frontier: by
+// distance, ties broken by index for determinism.
+func nbWorse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Index > b.Index
 }
+
+// siftDownNb restores the "worst at root" heap property below i.
+func siftDownNb(h []Neighbor, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		worst := l
+		if r := l + 1; r < len(h) && nbWorse(h[r], h[l]) {
+			worst = r
+		}
+		if !nbWorse(h[worst], h[i]) {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// siftUpNb restores the heap property above i after a push at i.
+func siftUpNb(h []Neighbor, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nbWorse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// maxTraversalDepth bounds the iterative traversal stack. The build is
+// median-balanced, so depth ≤ ⌈log₂ n⌉+1 ≤ 64 for any addressable n.
+const maxTraversalDepth = 64
 
 // KNN returns up to k nearest neighbors of q among points accepted by
 // filter (nil filter accepts everything), ordered by increasing
 // distance. Ties are broken by index for determinism.
 func (t *Tree) KNN(q geom.Point, k int, filter func(int) bool) []Neighbor {
-	return t.KNNWithin(q, k, math.Inf(1), filter)
+	return t.KNNWithinInto(q, k, math.Inf(1), filter, nil)
 }
 
 // KNNWithin behaves like KNN but only considers points within maxDist
 // of q (the paper's maximum-coverage constraint dmax).
 func (t *Tree) KNNWithin(q geom.Point, k int, maxDist float64, filter func(int) bool) []Neighbor {
+	return t.KNNWithinInto(q, k, maxDist, filter, nil)
+}
+
+// KNNInto is KNN appending into buf[:0] (whose capacity is reused; a
+// nil buf allocates). The returned slice aliases buf and is valid only
+// until the caller reuses it. With cap(buf) ≥ k+1 the search performs
+// no heap allocation.
+func (t *Tree) KNNInto(q geom.Point, k int, filter func(int) bool, buf []Neighbor) []Neighbor {
+	return t.KNNWithinInto(q, k, math.Inf(1), filter, buf)
+}
+
+// KNNWithinInto is the radius-capped allocation-free variant; see
+// KNNInto for the buffer contract.
+func (t *Tree) KNNWithinInto(q geom.Point, k int, maxDist float64, filter func(int) bool, buf []Neighbor) []Neighbor {
+	h := buf[:0]
 	if k <= 0 || len(t.nodes) == 0 {
-		return nil
+		return h
 	}
-	h := make(maxHeap, 0, k+1)
-	t.knn(0, q, k, maxDist*maxDist, filter, &h)
-	out := make([]Neighbor, len(h))
-	copy(out, h)
+	maxDist2 := maxDist * maxDist
+	// Iterative best-first descent: walk toward the query, stacking the
+	// far child of every visited node together with its splitting-plane
+	// distance; pop entries whose plane is still closer than the k-th
+	// best distance. The stack never holds more than one entry per tree
+	// level (entries are pushed in strictly increasing depth along any
+	// descent), so a fixed array suffices — no per-query allocation.
+	type frame struct {
+		off    int32
+		plane2 float64
+	}
+	var stack [maxTraversalDepth]frame
+	top := 0
+	off := int32(0)
+	for {
+		for off >= 0 {
+			n := &t.nodes[off]
+			p := t.pts[n.idx]
+			d2 := q.Dist2(p)
+			if d2 <= maxDist2 && (filter == nil || filter(n.idx)) {
+				nb := Neighbor{Index: n.idx, Dist: math.Sqrt(d2)}
+				if len(h) < k {
+					h = append(h, nb)
+					siftUpNb(h, len(h)-1)
+				} else if nbWorse(h[0], nb) {
+					h[0] = nb
+					siftDownNb(h, 0)
+				}
+			}
+			var planeDist float64
+			if n.axis == 0 {
+				planeDist = q.X - p.X
+			} else {
+				planeDist = q.Y - p.Y
+			}
+			near, far := n.left, n.right
+			if planeDist > 0 {
+				near, far = far, near
+			}
+			if far >= 0 {
+				stack[top] = frame{off: far, plane2: planeDist * planeDist}
+				top++
+			}
+			off = near
+		}
+		// Pop the next pending far subtree still worth visiting.
+		off = -1
+		for top > 0 {
+			top--
+			fr := stack[top]
+			if fr.plane2 > maxDist2 {
+				continue
+			}
+			if len(h) == k && fr.plane2 >= h[0].Dist*h[0].Dist {
+				continue
+			}
+			off = fr.off
+			break
+		}
+		if off < 0 {
+			break
+		}
+	}
+	// Heap-sort in place: repeatedly swap the worst to the tail. The
+	// "worst at root" order yields ascending (Dist, Index).
+	for i := len(h) - 1; i > 0; i-- {
+		h[0], h[i] = h[i], h[0]
+		siftDownNb(h[:i], 0)
+	}
+	return h
+}
+
+// WithinRadius returns all points within radius r of q accepted by
+// filter, ordered by increasing distance.
+func (t *Tree) WithinRadius(q geom.Point, r float64, filter func(int) bool) []Neighbor {
+	return t.WithinRadiusInto(q, r, filter, nil)
+}
+
+// WithinRadiusInto is WithinRadius appending into buf[:0] (capacity
+// reused, nil buf allocates); the result aliases buf.
+func (t *Tree) WithinRadiusInto(q geom.Point, r float64, filter func(int) bool, buf []Neighbor) []Neighbor {
+	out := t.WithinRadiusUnordered(q, r, filter, buf)
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Dist != out[b].Dist {
 			return out[a].Dist < out[b].Dist
@@ -123,55 +325,16 @@ func (t *Tree) KNNWithin(q geom.Point, k int, maxDist float64, filter func(int) 
 	return out
 }
 
-func (t *Tree) knn(off int32, q geom.Point, k int, maxDist2 float64, filter func(int) bool, h *maxHeap) {
-	if off < 0 {
-		return
-	}
-	n := &t.nodes[off]
-	p := t.pts[n.idx]
-	d2 := q.Dist2(p)
-	if d2 <= maxDist2 && (filter == nil || filter(n.idx)) {
-		if h.Len() < k {
-			heap.Push(h, Neighbor{Index: n.idx, Dist: math.Sqrt(d2)})
-		} else if d := math.Sqrt(d2); d < (*h)[0].Dist {
-			(*h)[0] = Neighbor{Index: n.idx, Dist: d}
-			heap.Fix(h, 0)
-		}
-	}
-	var qc, pc float64
-	if n.axis == 0 {
-		qc, pc = q.X, p.X
-	} else {
-		qc, pc = q.Y, p.Y
-	}
-	near, far := n.left, n.right
-	if qc > pc {
-		near, far = far, near
-	}
-	t.knn(near, q, k, maxDist2, filter, h)
-	// Visit the far side only if the splitting plane is closer than the
-	// current k-th distance (or the heap is not yet full).
-	planeDist := qc - pc
-	planeDist2 := planeDist * planeDist
-	if planeDist2 <= maxDist2 && (h.Len() < k || planeDist2 < (*h)[0].Dist*(*h)[0].Dist) {
-		t.knn(far, q, k, maxDist2, filter, h)
-	}
-}
-
-// WithinRadius returns all points within radius r of q accepted by
-// filter, ordered by increasing distance.
-func (t *Tree) WithinRadius(q geom.Point, r float64, filter func(int) bool) []Neighbor {
+// WithinRadiusUnordered is WithinRadiusInto without the final distance
+// sort, for callers that impose their own order anyway (ground-truth
+// cell construction feeds the result to a distance heap): results come
+// back in tree-traversal order.
+func (t *Tree) WithinRadiusUnordered(q geom.Point, r float64, filter func(int) bool, buf []Neighbor) []Neighbor {
+	out := buf[:0]
 	if len(t.nodes) == 0 || r < 0 {
-		return nil
+		return out
 	}
-	var out []Neighbor
 	t.within(0, q, r*r, filter, &out)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
-		}
-		return out[a].Index < out[b].Index
-	})
 	return out
 }
 
@@ -205,7 +368,8 @@ func (t *Tree) within(off int32, q geom.Point, r2 float64, filter func(int) bool
 // or +Inf when the tree is empty. Used by workload analysis and the
 // Theorem-2 bias bound (which needs inter-tuple nearest distances).
 func (t *Tree) NearestDist(q geom.Point, filter func(int) bool) float64 {
-	nb := t.KNN(q, 1, filter)
+	var buf [1]Neighbor
+	nb := t.KNNWithinInto(q, 1, math.Inf(1), filter, buf[:0])
 	if len(nb) == 0 {
 		return math.Inf(1)
 	}

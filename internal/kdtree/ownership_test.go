@@ -1,0 +1,128 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestBuildDefensiveCopy pins the ownership contract: Build copies the
+// input, so mutating (or zeroing) the caller's slice afterwards must
+// not change query results — the aliasing hazard the pre-overhaul
+// Build documented but could not enforce.
+func TestBuildDefensiveCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	tr := Build(pts)
+	want := tr.KNN(geom.Pt(5, 5), 7, nil)
+	for i := range pts {
+		pts[i] = geom.Pt(math.NaN(), math.NaN()) // hostile mutation
+	}
+	got := tr.KNN(geom.Pt(5, 5), 7, nil)
+	if len(got) != len(want) {
+		t.Fatalf("result length changed after input mutation: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d changed after input mutation: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestKNNIntoMatchesKNN checks the buffered entry point returns the
+// same neighbors as the allocating one, across ks and reused buffers.
+func TestKNNIntoMatchesKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	tr := Build(pts)
+	var buf []Neighbor
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		k := 1 + rng.Intn(12)
+		want := tr.KNN(q, k, nil)
+		buf = tr.KNNInto(q, k, nil, buf)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// TestKNNIntoNoAlloc asserts the allocation contract of the warm path.
+func TestKNNIntoNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, 4096)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	tr := Build(pts)
+	buf := make([]Neighbor, 0, 17)
+	q := geom.Pt(50, 50)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = tr.KNNInto(q, 16, nil, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm KNNInto allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestQuickselectBalance verifies the median build produces the
+// balanced depth the iterative traversal's fixed stack relies on.
+func TestQuickselectBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 3, 17, 1000, 5000} {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			// Adversarial: many duplicate coordinates.
+			pts[i] = geom.Pt(float64(rng.Intn(10)), float64(rng.Intn(10)))
+		}
+		tr := Build(pts)
+		maxDepth := 0
+		var walk func(off int32, d int)
+		walk = func(off int32, d int) {
+			if off < 0 {
+				return
+			}
+			if d > maxDepth {
+				maxDepth = d
+			}
+			walk(tr.nodes[off].left, d+1)
+			walk(tr.nodes[off].right, d+1)
+		}
+		walk(0, 1)
+		limit := int(math.Ceil(math.Log2(float64(n+1)))) + 1
+		if maxDepth > limit {
+			t.Fatalf("n=%d: depth %d exceeds balanced bound %d", n, maxDepth, limit)
+		}
+	}
+}
+
+// BenchmarkKNNInto10k is BenchmarkKNN10k on the allocation-free entry
+// point with a warm reused buffer; must show 0 allocs/op.
+func BenchmarkKNNInto10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, 10000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	tr := Build(pts)
+	buf := make([]Neighbor, 0, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		buf = tr.KNNInto(q, 10, nil, buf)
+	}
+}

@@ -1,0 +1,86 @@
+package lbs
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func allocTestService(n int, k int, rank RankMode) *Service {
+	rng := rand.New(rand.NewSource(5))
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		tuples[i] = Tuple{
+			ID:    int64(i + 1),
+			Loc:   geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			Attrs: map[string]float64{"pop": rng.Float64()},
+		}
+	}
+	db := NewDatabase(geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100)), tuples)
+	return NewService(db, Options{K: k, Rank: rank, ProminenceAttr: "pop", ProminenceWeight: 0.1})
+}
+
+// TestQueryLRAllocBound pins the pooled-scratch contract of the oracle
+// hot path: an unfiltered distance-ranked query allocates only the
+// records returned to the caller (1 slice), nothing for the search.
+func TestQueryLRAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; contract checked without -race")
+	}
+	svc := allocTestService(5000, 8, RankByDistance)
+	ctx := context.Background()
+	q := geom.Pt(50, 50)
+	if _, err := svc.QueryLR(ctx, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := svc.QueryLR(ctx, q, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("QueryLR allocates %.1f allocs/query, want ≤ 1 (the returned records)", allocs)
+	}
+}
+
+// TestQueryLNRProminenceAllocBound covers the rescoring path: one
+// extra allocation is tolerated for the filter closure.
+func TestQueryLNRProminenceAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; contract checked without -race")
+	}
+	svc := allocTestService(5000, 8, RankByProminence)
+	ctx := context.Background()
+	q := geom.Pt(50, 50)
+	if _, err := svc.QueryLNR(ctx, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := svc.QueryLNR(ctx, q, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("prominence QueryLNR allocates %.1f allocs/query, want ≤ 1", allocs)
+	}
+}
+
+// BenchmarkQueryLR measures the simulated oracle hot path (distance
+// rank, no filter): tree search + record marshalling, one allocation
+// per query (the returned records).
+func BenchmarkQueryLR(b *testing.B) {
+	svc := allocTestService(10000, 8, RankByDistance)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		if _, err := svc.QueryLR(ctx, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "q/s")
+}

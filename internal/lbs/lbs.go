@@ -53,6 +53,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -173,7 +174,9 @@ func NewObfuscatedDatabase(bounds geom.Rect, tuples []Tuple, obf Obfuscation) *D
 		}
 		db.byID[tuples[i].ID] = i
 	}
-	db.tree = kdtree.Build(db.effective)
+	// The effective slice is private and never mutated after
+	// construction, so the tree can take ownership without a copy.
+	db.tree = kdtree.BuildOwned(db.effective)
 	return db
 }
 
@@ -337,7 +340,46 @@ type Service struct {
 	db      *Database
 	opts    Options
 	queries atomic.Int64
+	// scratch pools the per-query working set (kNN buffers, rank
+	// indices, prominence rescoring) so an answered query allocates
+	// nothing beyond the records returned to the caller.
+	scratch sync.Pool
 }
+
+// queryScratch is the reusable working set of one ranked search.
+type queryScratch struct {
+	nbs    []kdtree.Neighbor
+	idxs   []int
+	scored promSorter
+}
+
+func (s *Service) getScratch() *queryScratch {
+	if sc, ok := s.scratch.Get().(*queryScratch); ok {
+		return sc
+	}
+	return &queryScratch{}
+}
+
+func (s *Service) putScratch(sc *queryScratch) { s.scratch.Put(sc) }
+
+// promScored is one prominence-reranked candidate.
+type promScored struct {
+	idx   int
+	score float64
+}
+
+// promSorter sorts candidates by (score, idx); a named slice type so
+// sort.Sort on a pooled pointer stays allocation-free.
+type promSorter []promScored
+
+func (p promSorter) Len() int { return len(p) }
+func (p promSorter) Less(a, b int) bool {
+	if p[a].score != p[b].score {
+		return p[a].score < p[b].score
+	}
+	return p[a].idx < p[b].idx
+}
+func (p promSorter) Swap(a, b int) { p[a], p[b] = p[b], p[a] }
 
 var _ Querier = (*Service)(nil)
 
@@ -471,11 +513,15 @@ func (s *Service) VirtualWaited() time.Duration {
 	return s.opts.Limiter.VirtualElapsed()
 }
 
-// rawQuery runs the ranked search shared by both views. It returns
-// tuple indices in rank order.
-func (s *Service) rawQuery(q geom.Point, filter Filter) []int {
+// rawQueryInto runs the ranked search shared by both views, writing
+// through the pooled scratch. It returns tuple indices in rank order;
+// the slice aliases sc.idxs and is valid until the scratch is reused.
+func (s *Service) rawQueryInto(sc *queryScratch, q geom.Point, filter Filter) []int {
 	kf := func(i int) bool {
 		return filter == nil || filter(&s.db.tuples[i])
+	}
+	if filter == nil {
+		kf = nil
 	}
 	maxDist := math.Inf(1)
 	if s.opts.MaxRadius > 0 {
@@ -483,40 +529,36 @@ func (s *Service) rawQuery(q geom.Point, filter Filter) []int {
 	}
 	switch s.opts.Rank {
 	case RankByProminence:
-		cand := s.db.tree.KNNWithin(q, s.opts.K*s.opts.ProminenceOverfetch, maxDist, kf)
-		type scored struct {
-			idx   int
-			score float64
-		}
-		sc := make([]scored, len(cand))
-		for i, nb := range cand {
+		cand := s.db.tree.KNNWithinInto(q, s.opts.K*s.opts.ProminenceOverfetch, maxDist, kf, sc.nbs)
+		sc.nbs = cand
+		scored := sc.scored[:0]
+		for _, nb := range cand {
 			t := &s.db.tuples[nb.Index]
-			sc[i] = scored{
+			scored = append(scored, promScored{
 				idx:   nb.Index,
 				score: nb.Dist - s.opts.ProminenceWeight*t.Attr(s.opts.ProminenceAttr),
-			}
+			})
 		}
-		sort.Slice(sc, func(a, b int) bool {
-			if sc[a].score != sc[b].score {
-				return sc[a].score < sc[b].score
-			}
-			return sc[a].idx < sc[b].idx
-		})
-		n := len(sc)
+		sc.scored = scored
+		sort.Sort(&sc.scored)
+		n := len(scored)
 		if n > s.opts.K {
 			n = s.opts.K
 		}
-		out := make([]int, n)
+		out := sc.idxs[:0]
 		for i := 0; i < n; i++ {
-			out[i] = sc[i].idx
+			out = append(out, scored[i].idx)
 		}
+		sc.idxs = out
 		return out
 	default:
-		nbs := s.db.tree.KNNWithin(q, s.opts.K, maxDist, kf)
-		out := make([]int, len(nbs))
-		for i, nb := range nbs {
-			out[i] = nb.Index
+		nbs := s.db.tree.KNNWithinInto(q, s.opts.K, maxDist, kf, sc.nbs)
+		sc.nbs = nbs
+		out := sc.idxs[:0]
+		for _, nb := range nbs {
+			out = append(out, nb.Index)
 		}
+		sc.idxs = out
 		return out
 	}
 }
@@ -545,7 +587,17 @@ func (s *Service) QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]L
 // answerLR computes one LR answer without charging; callers charge
 // first.
 func (s *Service) answerLR(q geom.Point, filter Filter) []LRRecord {
-	idxs := s.rawQuery(q, filter)
+	sc := s.getScratch()
+	out := s.answerLRWith(sc, q, filter)
+	s.putScratch(sc)
+	return out
+}
+
+// answerLRWith is answerLR over an explicit scratch (batch callers
+// hold one scratch across the whole batch). Only the returned records
+// are freshly allocated.
+func (s *Service) answerLRWith(sc *queryScratch, q geom.Point, filter Filter) []LRRecord {
+	idxs := s.rawQueryInto(sc, q, filter)
 	out := make([]LRRecord, len(idxs))
 	for i, idx := range idxs {
 		t := &s.db.tuples[idx]
@@ -573,8 +625,12 @@ func (s *Service) answerLR(q geom.Point, filter Filter) []LRRecord {
 func (s *Service) QueryLRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LRRecord, error) {
 	out := make([][]LRRecord, len(pts))
 	granted, err := s.chargeN(ctx, int64(len(pts)))
-	for i := int64(0); i < granted; i++ {
-		out[i] = s.answerLR(pts[i], filter)
+	if granted > 0 {
+		sc := s.getScratch()
+		for i := int64(0); i < granted; i++ {
+			out[i] = s.answerLRWith(sc, pts[i], filter)
+		}
+		s.putScratch(sc)
 	}
 	return out, err
 }
@@ -601,7 +657,15 @@ func (s *Service) QueryLNR(ctx context.Context, q geom.Point, filter Filter) ([]
 // answerLNR computes one LNR answer without charging; callers charge
 // first.
 func (s *Service) answerLNR(q geom.Point, filter Filter) []LNRRecord {
-	idxs := s.rawQuery(q, filter)
+	sc := s.getScratch()
+	out := s.answerLNRWith(sc, q, filter)
+	s.putScratch(sc)
+	return out
+}
+
+// answerLNRWith is answerLNR over an explicit scratch.
+func (s *Service) answerLNRWith(sc *queryScratch, q geom.Point, filter Filter) []LNRRecord {
+	idxs := s.rawQueryInto(sc, q, filter)
 	out := make([]LNRRecord, len(idxs))
 	for i, idx := range idxs {
 		t := &s.db.tuples[idx]
@@ -622,8 +686,12 @@ func (s *Service) answerLNR(q geom.Point, filter Filter) []LNRRecord {
 func (s *Service) QueryLNRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LNRRecord, error) {
 	out := make([][]LNRRecord, len(pts))
 	granted, err := s.chargeN(ctx, int64(len(pts)))
-	for i := int64(0); i < granted; i++ {
-		out[i] = s.answerLNR(pts[i], filter)
+	if granted > 0 {
+		sc := s.getScratch()
+		for i := int64(0); i < granted; i++ {
+			out[i] = s.answerLNRWith(sc, pts[i], filter)
+		}
+		s.putScratch(sc)
 	}
 	return out, err
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lbs
+
+const raceEnabled = false

@@ -11,7 +11,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/geom"
@@ -31,13 +34,29 @@ type Diagram struct {
 // Compute builds the exact top-k Voronoi diagram of a database. The
 // per-cell work uses a kd-tree to gather nearby sites in growing rings
 // until the distance-pruning rule guarantees completeness, so the cost
-// is near-linear for realistic (clustered) inputs.
+// is near-linear for realistic (clustered) inputs. Cells are
+// independent, so the work is spread over one worker per CPU; use
+// ComputeParallel to pick the worker count explicitly.
 func Compute(db *lbs.Database, k int) *Diagram {
+	return ComputeParallel(db, k, runtime.GOMAXPROCS(0))
+}
+
+// computeChunk is the work-stealing granule of ComputeParallel: large
+// enough to amortize the atomic claim, small enough to balance the
+// highly skewed per-cell cost (boundary cells cost far more than
+// interior ones).
+const computeChunk = 32
+
+// ComputeParallel is Compute over an explicit worker pool. Workers
+// claim fixed-size index chunks from an atomic cursor; each cell is
+// computed independently against the shared (read-only) kd-tree, so
+// the result is identical for every worker count, including 1.
+func ComputeParallel(db *lbs.Database, k, workers int) *Diagram {
 	pts := make([]geom.Point, db.Len())
 	for i := range pts {
 		pts[i] = db.Tuple(i).Loc
 	}
-	tree := kdtree.Build(pts)
+	tree := kdtree.BuildOwned(pts)
 	d := &Diagram{
 		Bounds: db.Bounds(),
 		K:      k,
@@ -45,28 +64,91 @@ func Compute(db *lbs.Database, k int) *Diagram {
 		db:     db,
 	}
 	boundPoly := db.Bounds().Polygon()
-	for i := range pts {
-		d.Cells[i] = computeCell(boundPoly, tree, pts, i, k)
+	n := len(pts)
+	if workers > n {
+		workers = n
 	}
+	if workers <= 1 {
+		sc := newCellScratch(n)
+		for i := range pts {
+			d.Cells[i] = computeCell(boundPoly, tree, pts, i, k, sc)
+		}
+		return d
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// Each worker owns its scratch and its copy of the bounding
+			// polygon so cell.New's Clone source is not shared.
+			bp := boundPoly.Clone()
+			sc := newCellScratch(n)
+			for {
+				start := int(cursor.Add(computeChunk)) - computeChunk
+				if start >= n {
+					return
+				}
+				end := start + computeChunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					d.Cells[i] = computeCell(bp, tree, pts, i, k, sc)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return d
 }
+
+// cellScratch is the per-worker working set of computeCell:
+// generation-stamped "already gathered" marks (an O(1) reset per cell
+// instead of a fresh map) and reusable neighbor/site buffers.
+type cellScratch struct {
+	stamp []uint32
+	gen   uint32
+	nbs   []kdtree.Neighbor
+	sites []cell.Site
+}
+
+func newCellScratch(n int) *cellScratch {
+	return &cellScratch{stamp: make([]uint32, n)}
+}
+
+// nextCell advances the generation, resetting the seen marks in O(1).
+func (sc *cellScratch) nextCell() {
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stamps from 2^32 cells ago could alias
+		clear(sc.stamp)
+		sc.gen = 1
+	}
+}
+
+func (sc *cellScratch) seen(i int) bool { return sc.stamp[i] == sc.gen }
+func (sc *cellScratch) mark(i int)      { sc.stamp[i] = sc.gen }
 
 // computeCell builds the exact top-k cell of site idx against all
 // other sites: neighbors are pulled in rings of doubling radius until
 // the ring radius exceeds twice the maximum distance from the site to
 // its tentative cell (beyond which no bisector can cut the region).
-func computeCell(bound geom.Polygon, tree *kdtree.Tree, pts []geom.Point, idx, k int) *cell.Complex {
+func computeCell(bound geom.Polygon, tree *kdtree.Tree, pts []geom.Point, idx, k int, sc *cellScratch) *cell.Complex {
 	target := pts[idx]
 	c := cell.New(bound, k)
-	radius := initialRadius(tree, target, idx, k)
-	seen := map[int]bool{idx: true}
+	radius := initialRadius(tree, target, idx, k, sc)
+	sc.nextCell()
+	sc.mark(idx)
 	for {
-		nbs := tree.WithinRadius(target, radius, func(j int) bool { return !seen[j] })
-		sites := make([]cell.Site, 0, len(nbs))
-		for _, nb := range nbs {
-			seen[nb.Index] = true
+		sc.nbs = tree.WithinRadiusUnordered(target, radius,
+			func(j int) bool { return !sc.seen(j) }, sc.nbs)
+		sites := sc.sites[:0]
+		for _, nb := range sc.nbs {
+			sc.mark(nb.Index)
 			sites = append(sites, cell.Site{Key: int64(nb.Index), Loc: pts[nb.Index]})
 		}
+		sc.sites = sites
 		cell.InsertSites(c, target, sites)
 		needed := 2 * c.MaxDistFrom(target)
 		if radius >= needed || radius >= 4*boundDiag(bound) {
@@ -82,13 +164,28 @@ func boundDiag(bound geom.Polygon) float64 {
 }
 
 // initialRadius starts the ring search at roughly the k-th neighbor
-// distance, doubled.
-func initialRadius(tree *kdtree.Tree, target geom.Point, idx, k int) float64 {
-	nbs := tree.KNN(target, k+1, func(j int) bool { return j != idx })
-	if len(nbs) == 0 {
+// distance, doubled. The search reuses the worker scratch's neighbor
+// buffer: it fetches k+2 unfiltered neighbors and skips the target
+// itself, avoiding both the result allocation and a per-cell filter
+// closure.
+func initialRadius(tree *kdtree.Tree, target geom.Point, idx, k int, sc *cellScratch) float64 {
+	sc.nbs = tree.KNNInto(target, k+2, nil, sc.nbs)
+	far := -1
+	seen := 0
+	for i := range sc.nbs {
+		if sc.nbs[i].Index == idx {
+			continue
+		}
+		seen++
+		far = i
+		if seen == k+1 {
+			break
+		}
+	}
+	if far < 0 {
 		return math.Inf(1)
 	}
-	return 2 * nbs[len(nbs)-1].Dist * (1 + 1e-9)
+	return 2 * sc.nbs[far].Dist * (1 + 1e-9)
 }
 
 // Areas returns the cell areas indexed like the database tuples.
