@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all vet build test bench bench-throughput bench-geom bench-json bench-smoke
+.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke
 
-all: vet build test
+all: fmt vet build test
+
+# fmt fails when any file is not gofmt-clean (the CI tidiness gate:
+# wire-type churn must not accumulate formatting drift).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -10,8 +16,10 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# cannot hide.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # bench runs the estimation-session benchmarks; the Parallelism pair
 # measures the wall-clock payoff of WithParallelism(8) over a

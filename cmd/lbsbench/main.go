@@ -11,10 +11,19 @@
 // Scales: "quick" (seconds, for smoke runs) and "paper" (the paper's
 // 25-run settings); individual -n/-runs/-budget/-k flags override the
 // chosen scale.
+//
+// With -remote, lbsbench becomes a client of a running lbsserve
+// instead: it submits one estimation job over the wire, streams its
+// trace, and prints the final results —
+//
+//	lbsbench -remote http://localhost:8080 -method lr -seed 42 \
+//	         -aggs '[{"kind":"count"},{"kind":"avg","attr":"enrollment"}]' \
+//	         -budget 5000 -trace
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,9 +33,66 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/httpapi"
+	"repro/internal/jobs"
 )
 
 type runner func(context.Context, experiments.Config) (*experiments.Figure, error)
+
+// runRemote submits one estimation job to a running lbsserve, streams
+// its trace when asked, and prints the final results.
+func runRemote(ctx context.Context, baseURL string, spec jobs.Spec, aggsJSON string, trace bool) error {
+	if err := json.Unmarshal([]byte(aggsJSON), &spec.Aggregates); err != nil {
+		return fmt.Errorf("parsing -aggs: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return err // reject malformed requests before going on the wire
+	}
+	c, err := httpapi.NewClient(ctx, baseURL, httpapi.Selection{}, nil)
+	if err != nil {
+		return err
+	}
+	v, err := c.Estimate(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (method=%s seed=%d)\n", v.ID, spec.Method, spec.Seed)
+	if trace {
+		err := c.FollowJobTrace(ctx, v.ID, func(e jobs.TraceEvent) error {
+			fmt.Printf("  %-28s samples=%-6d queries=%-8d estimate=%g\n",
+				e.Agg, e.Samples, e.Queries, float64(e.Estimate))
+			return nil
+		})
+		// An interrupt mid-stream must still fall through to the
+		// cancel path below, so the job stops server-side and its
+		// partial results are printed. Any other stream failure must
+		// not orphan the job either: cancel best-effort, then report.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, _ = c.CancelJob(dctx, v.ID)
+			cancel()
+			return err
+		}
+	}
+	final, err := c.WaitJob(ctx, v.ID, 0)
+	if errors.Is(err, context.Canceled) {
+		// Interrupted: cancel the job server-side and report partials.
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		final, err = c.CancelJob(dctx, v.ID)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s after %d samples, %d queries\n", final.ID, final.State, final.Samples, final.Queries)
+	if final.Error != "" {
+		fmt.Printf("  error: %s\n", final.Error)
+	}
+	for _, r := range final.Results {
+		fmt.Printf("  %-28s estimate=%-14g ±%g (95%% CI)\n", r.Name, float64(r.Estimate), float64(r.CI95))
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -38,6 +104,13 @@ func main() {
 		k      = flag.Int("k", 0, "service top-k override")
 		seed   = flag.Int64("seed", 0, "base seed override")
 		batch  = flag.Int("batch", 0, "samples per oracle round-trip for batch-capable estimators (0/1 = unbatched)")
+
+		remote      = flag.String("remote", "", "base URL of an lbsserve to submit one estimation job to (switches lbsbench into remote-client mode)")
+		method      = flag.String("method", "lr", "remote job method: lr | lnr | nno")
+		aggs        = flag.String("aggs", `[{"kind":"count"}]`, "remote job aggregates (JSON array of specs)")
+		samples     = flag.Int("samples", 0, "remote job max samples (0 = unlimited)")
+		parallelism = flag.Int("parallelism", 0, "remote job worker parallelism (0/1 = serial)")
+		trace       = flag.Bool("trace", false, "stream the remote job's trace to stdout")
 	)
 	flag.Parse()
 
@@ -46,6 +119,27 @@ func main() {
 	// of grinding through the remaining experiments.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *remote != "" {
+		if err := runRemote(ctx, *remote, jobs.Spec{
+			Method: *method,
+			Seed:   *seed,
+			Options: jobs.RunOptions{
+				MaxSamples:  *samples,
+				MaxQueries:  *budget,
+				Parallelism: *parallelism,
+				Batch:       *batch,
+			},
+		}, *aggs, *trace); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "remote: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {

@@ -3,15 +3,24 @@
 // estimators against a networked service:
 //
 //	lbsserve -scenario schools -n 2000 -k 10 -addr :8080 &
-//	# then point an httpapi.Client (or curl) at it:
+//	# raw oracle queries:
 //	curl 'localhost:8080/v1/lr?x=1200&y=900'
 //	curl 'localhost:8080/v1/lnr?x=1200&y=900&category=school'
 //	curl -d '{"points":[{"x":1200,"y":900},{"x":1300,"y":950}]}' \
 //	     'localhost:8080/v1/query/lr:batch'
+//	# estimation as a service: submit a job, watch it, stream its trace:
+//	curl -d '{"method":"lr","seed":42,"aggregates":[{"kind":"count"}]}' \
+//	     'localhost:8080/v1/estimate'
+//	curl 'localhost:8080/v1/jobs/job-1'
+//	curl -N 'localhost:8080/v1/jobs/job-1/trace'
+//	curl -X DELETE 'localhost:8080/v1/jobs/job-1'
+//	# live service counters (queries, budget, cache, jobs):
+//	curl 'localhost:8080/v1/stats'
 //
 // -cache-size layers a sharded LRU answer cache in front of the
 // service (a caching gateway): repeated queries are served from
-// memory without consuming the budget.
+// memory without consuming the budget. -job-max-queries caps the
+// query spend of estimation jobs that set no bound of their own.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/jobs"
 	"repro/internal/lbs"
 	"repro/internal/workload"
 )
@@ -40,6 +50,8 @@ func main() {
 		radius    = flag.Float64("radius", 0, "maximum coverage radius (0 = unlimited)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache-size", 0, "answer-cache entries in front of the service (0 = no cache); hits are served without consuming budget, like a caching gateway")
+		jobCap    = flag.Int64("job-max-queries", 0, "default query cap for estimation jobs that set none (0 = uncapped)")
+		maxJobs   = flag.Int("max-jobs", 0, "retained estimation jobs before the oldest finished ones are evicted (0 = default)")
 	)
 	flag.Parse()
 
@@ -63,18 +75,24 @@ func main() {
 		K: *k, Budget: *budget, MaxRadius: *radius,
 	})
 	var backend lbs.Querier = svc
-	var cache *lbs.CachedOracle
 	if *cacheSize > 0 {
-		cache = lbs.NewCachedOracle(svc, lbs.CacheOptions{Capacity: *cacheSize})
-		backend = cache
+		backend = lbs.NewCachedOracle(svc, lbs.CacheOptions{Capacity: *cacheSize})
 	}
+	api := httpapi.NewServerWith(backend, httpapi.ServerOptions{
+		Jobs: jobs.ManagerOptions{
+			DefaultMaxQueries: *jobCap,
+			MaxJobs:           *maxJobs,
+		},
+	})
 	fmt.Printf("serving %s (%d tuples, k=%d, cache=%d) on %s\n", sc.Name, sc.DB.Len(), *k, *cacheSize, *addr)
+	fmt.Printf("estimation jobs: POST /v1/estimate · live counters: GET /v1/stats\n")
 
-	// Serve until interrupted, then drain: in-flight queries see their
-	// request contexts canceled and the listener closes cleanly.
+	// Serve until interrupted, then drain: estimation jobs are
+	// canceled (settling with partial results), in-flight queries see
+	// their request contexts canceled, and the listener closes cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: httpapi.NewServer(backend)}
+	srv := &http.Server{Addr: *addr, Handler: api}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -83,14 +101,13 @@ func main() {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		api.Jobs().CancelAll(shutdownCtx)
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatal(err)
 		}
+		// The full picture (cache and job counters included) is served
+		// live by GET /v1/stats; the shutdown line is just a closing
+		// summary.
 		fmt.Printf("shut down after %d queries\n", svc.QueryCount())
-		if cache != nil {
-			st := cache.Stats()
-			fmt.Printf("cache: %d hits, %d misses, %d bypasses, %d evictions, %d resident\n",
-				st.Hits, st.Misses, st.Bypasses, st.Evictions, st.Entries)
-		}
 	}
 }

@@ -37,17 +37,27 @@ func main() {
 	// kNN interface with a 5,000-query budget (a rate limit stand-in).
 	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 10, Budget: 5000})
 
-	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
-	results, err := agg.Run(context.Background(), []lbsagg.Aggregate{
-		lbsagg.Count(),
-		lbsagg.SumAttr("rating"),
-	}) // no run options: sample until the service budget is gone
+	// Aggregates are declarative specs (API v3): they compile once to
+	// the closure form the estimator runs, and the same JSON-ready
+	// specs could be submitted to a remote estimation job unchanged
+	// (see examples/jobs).
+	plan, err := lbsagg.CompilePlan([]lbsagg.AggSpec{
+		lbsagg.CountSpec(),
+		lbsagg.AvgSpec("rating"),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	count, sum := results[0], results[1]
-	avg := lbsagg.RatioOf(sum, count)
+	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
+	phys, err := agg.Run(context.Background(), plan.Aggs)
+	// no run options: sample until the service budget is gone
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := plan.Finish(phys)
+
+	count, avg := results[0], results[1]
 	fmt.Printf("queries spent:      %d (budget 5000)\n", count.Queries)
 	fmt.Printf("samples completed:  %d\n", count.Samples)
 	fmt.Printf("COUNT(*)  estimate: %.1f ± %.1f (truth %d)\n",

@@ -100,12 +100,31 @@ type Aggregate struct {
 	NeedsLocation bool
 }
 
-// Count returns the COUNT(*) aggregate.
-func Count() Aggregate {
-	return Aggregate{Name: "COUNT(*)", Value: func(Record) float64 { return 1 }}
+// mustCompile compiles a constructor-built spec; the constructors only
+// build valid specs, so a failure is a programming error.
+func mustCompile(s AggSpec) Aggregate {
+	agg, err := s.Compile()
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return agg
 }
 
+// Count returns the COUNT(*) aggregate.
+//
+// Deprecated: build the declarative CountSpec() instead and compile it
+// (or a whole request) with CompilePlan; specs serialize to JSON, so
+// the same aggregate can travel to a remote estimation job. This shim
+// compiles the equivalent spec.
+func Count() Aggregate { return mustCompile(CountSpec()) }
+
 // CountWhere returns COUNT with a post-processed selection condition.
+//
+// Deprecated: when the condition is expressible as a PredSpec
+// (AttrCmp/TagEq/InRect/And/Or/Not), use
+// CountSpec().WithWhere(p).WithLabel(...) so the aggregate stays
+// wire-expressible. CountWhere remains for conditions that genuinely
+// need arbitrary Go code; those cannot be submitted to remote jobs.
 func CountWhere(name string, cond func(Record) bool) Aggregate {
 	return Aggregate{
 		Name: "COUNT(" + name + ")",
@@ -119,14 +138,15 @@ func CountWhere(name string, cond func(Record) bool) Aggregate {
 }
 
 // SumAttr returns SUM(attr).
-func SumAttr(attr string) Aggregate {
-	return Aggregate{
-		Name:  "SUM(" + attr + ")",
-		Value: func(r Record) float64 { return r.Attr(attr) },
-	}
-}
+//
+// Deprecated: use the declarative SumSpec(attr) with CompilePlan; this
+// shim compiles the equivalent spec.
+func SumAttr(attr string) Aggregate { return mustCompile(SumSpec(attr)) }
 
 // SumAttrWhere returns SUM(attr) with a selection condition.
+//
+// Deprecated: prefer SumSpec(attr).WithWhere(p) for conditions
+// expressible as a PredSpec (see CountWhere).
 func SumAttrWhere(attr string, name string, cond func(Record) bool) Aggregate {
 	return Aggregate{
 		Name: "SUM(" + attr + " | " + name + ")",
@@ -141,17 +161,22 @@ func SumAttrWhere(attr string, name string, cond func(Record) bool) Aggregate {
 
 // CountTag returns COUNT of tuples whose tag equals value (e.g. the
 // gender counts of the WeChat experiments).
+//
+// Deprecated: use CountSpec().WithWhere(TagEq(tag, value)); this shim
+// compiles the equivalent spec.
 func CountTag(tag, value string) Aggregate {
-	return CountWhere(tag+"="+value, func(r Record) bool { return r.Tag(tag) == value })
+	return mustCompile(CountSpec().WithWhere(TagEq(tag, value)))
 }
 
 // CountInRect returns COUNT of tuples located inside rect — a
 // location-based selection condition, which over LNR interfaces
 // triggers position inference.
+//
+// Deprecated: use CountSpec().WithWhere(InRect(rect)); this shim
+// compiles the equivalent spec (NeedsLocation is inferred from the
+// in_rect node).
 func CountInRect(rect geom.Rect) Aggregate {
-	a := CountWhere("in-rect", func(r Record) bool { return r.HasLoc && rect.Contains(r.Loc) })
-	a.NeedsLocation = true
-	return a
+	return mustCompile(CountSpec().WithWhere(InRect(rect)))
 }
 
 // recordOfLR converts an LR result row.

@@ -48,6 +48,7 @@ type runConfig struct {
 	progress    func([]TracePoint)
 	parallelism int
 	batch       int
+	noTrace     bool
 }
 
 // RunOption configures an estimation run (see Driver.Run).
@@ -90,6 +91,15 @@ func WithTargetCI(rel float64) RunOption {
 // back into the run.
 func WithProgress(fn func(points []TracePoint)) RunOption {
 	return func(c *runConfig) { c.progress = fn }
+}
+
+// WithoutTrace disables recording the per-sample trace in the
+// Results (Result.Trace stays nil). The trace grows by one point per
+// aggregate per sample, so effectively unbounded runs — long-lived
+// estimation jobs streaming progress elsewhere — should not also
+// accumulate it in memory. WithProgress still streams every point.
+func WithoutTrace() RunOption {
+	return func(c *runConfig) { c.noTrace = true }
 }
 
 // WithParallelism draws point samples from n concurrent workers, each
@@ -220,7 +230,9 @@ func (d *Driver) runSerial(ctx context.Context, aggs []Aggregate, cfg runConfig)
 			for j := range aggs {
 				accs[j].Add(vals[j])
 				points[j] = TracePoint{Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean()}
-				traces[j] = append(traces[j], points[j])
+				if !cfg.noTrace {
+					traces[j] = append(traces[j], points[j])
+				}
 			}
 			if cfg.progress != nil {
 				cfg.progress(points)
@@ -353,7 +365,9 @@ func (d *Driver) runParallel(ctx context.Context, aggs []Aggregate, cfg runConfi
 		for j := range aggs {
 			monitor[j].Add(msg.vals[j])
 			points[j] = TracePoint{Queries: msg.queries, Samples: monitor[j].N(), Estimate: monitor[j].Mean()}
-			traces[j] = append(traces[j], points[j])
+			if !cfg.noTrace {
+				traces[j] = append(traces[j], points[j])
+			}
 		}
 		if cfg.progress != nil {
 			cfg.progress(points)

@@ -1,0 +1,126 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// decodeView decodes a jobs.View response, treating non-2xx statuses
+// as errors.
+func decodeView(resp *http.Response) (*jobs.View, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		e := decodeError(resp)
+		return nil, fmt.Errorf("httpapi: job status %d: %s", resp.StatusCode, e.Error)
+	}
+	var v jobs.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("httpapi: job decode: %w", err)
+	}
+	return &v, nil
+}
+
+// Estimate submits a declarative estimation job (POST /v1/estimate)
+// and returns its initial view; the job runs server-side. Submission
+// is not idempotent, so it is never retried — wrap it yourself if a
+// duplicate job is acceptable on your gateway.
+func (c *Client) Estimate(ctx context.Context, spec jobs.Spec) (*jobs.View, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: estimate encode: %w", err)
+	}
+	resp, err := c.doOnce(ctx, http.MethodPost, c.base+"/v1/estimate", body)
+	if err != nil {
+		return nil, err
+	}
+	return decodeView(resp)
+}
+
+// Job fetches a job's current view (GET /v1/jobs/{id}), retrying
+// transient failures per the client's policy.
+func (c *Client) Job(ctx context.Context, id string) (*jobs.View, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeView(resp)
+}
+
+// CancelJob cancels a running job (DELETE /v1/jobs/{id}) and returns
+// its settled view, whose Results hold the partial estimates of the
+// samples completed before the cancel. Canceling is idempotent
+// (deleting a finished job returns its final view), so transient
+// failures retry like GETs.
+func (c *Client) CancelJob(ctx context.Context, id string) (*jobs.View, error) {
+	resp, err := c.do(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeView(resp)
+}
+
+// FollowJobTrace streams a job's NDJSON trace (GET
+// /v1/jobs/{id}/trace), invoking fn once per event in order, from the
+// job's first sample until it settles, fn returns an error, or ctx is
+// done. Connection establishment retries per the client's policy; a
+// stream broken mid-flight surfaces as an error (re-calling replays
+// from the start).
+func (c *Client) FollowJobTrace(ctx context.Context, id string, fn func(jobs.TraceEvent) error) error {
+	resp, err := c.do(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		e := decodeError(resp)
+		return fmt.Errorf("httpapi: trace status %d: %s", resp.StatusCode, e.Error)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e jobs.TraceEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("httpapi: trace decode: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("httpapi: trace stream: %w", err)
+	}
+	return nil
+}
+
+// WaitJob polls a job until it settles (every poll interval; default
+// 250 ms when poll ≤ 0) and returns its final view.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*jobs.View, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if v.State.Finished() {
+			return v, nil
+		}
+		if err := sleepCtx(ctx, poll); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -28,7 +28,6 @@
 package httpapi
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -40,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/jobs"
 	"repro/internal/lbs"
 )
 
@@ -85,8 +85,15 @@ type queryResponse struct {
 	Results []wireRecord `json:"results"`
 }
 
+// codeBudgetExhausted marks a 429 caused by the service's hard query
+// budget, which no amount of retrying will lift — as opposed to a
+// transient rate-limit 429, which retry policies may wait out.
+const codeBudgetExhausted = "budget_exhausted"
+
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is a machine-readable error class (codeBudgetExhausted).
+	Code string `json:"code,omitempty"`
 }
 
 // batch wire types
@@ -123,22 +130,48 @@ const (
 
 // Server adapts a service view into an http.Handler. Any lbs.Querier
 // works as the backend: the raw simulator, or a CachedOracle layered
-// in front of it (a caching gateway).
+// in front of it (a caching gateway). Beyond the raw oracle endpoints,
+// the server runs estimation jobs (see handleEstimate and the jobs
+// package) and reports live service stats (/v1/stats).
 type Server struct {
-	svc lbs.Querier
-	mux *http.ServeMux
+	svc  lbs.Querier
+	jobs *jobs.Manager
+	mux  *http.ServeMux
 }
 
-// NewServer wraps a service backend.
-func NewServer(svc lbs.Querier) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+// ServerOptions configures the optional subsystems of a Server.
+type ServerOptions struct {
+	// Jobs configures the estimation-job manager (retention cap,
+	// default per-job query budget).
+	Jobs jobs.ManagerOptions
+}
+
+// NewServer wraps a service backend with default options.
+func NewServer(svc lbs.Querier) *Server { return NewServerWith(svc, ServerOptions{}) }
+
+// NewServerWith wraps a service backend.
+func NewServerWith(svc lbs.Querier, opts ServerOptions) *Server {
+	s := &Server{
+		svc:  svc,
+		jobs: jobs.NewManager(svc, opts.Jobs),
+		mux:  http.NewServeMux(),
+	}
 	s.mux.HandleFunc("/v1/meta", s.handleMeta)
 	s.mux.HandleFunc("/v1/lr", s.handleLR)
 	s.mux.HandleFunc("/v1/lnr", s.handleLNR)
 	s.mux.HandleFunc("/v1/query/lr:batch", s.handleLRBatch)
 	s.mux.HandleFunc("/v1/query/lnr:batch", s.handleLNRBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	return s
 }
+
+// Jobs returns the server's estimation-job manager (e.g. for a
+// graceful CancelAll at shutdown).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -147,6 +180,18 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeQueryError renders a failed backend query: budget exhaustion is
+// a 429 carrying its machine-readable code (permanent — clients must
+// not retry it); anything else is a 500 (transient from the client's
+// point of view).
+func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, lbs.ErrBudgetExhausted) {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Code: codeBudgetExhausted})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
@@ -176,7 +221,7 @@ func (s *Server) handleLR(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, err := s.svc.QueryLR(r.Context(), p, sel.filter())
 	if err != nil {
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wireLR(recs))
@@ -204,7 +249,7 @@ func (s *Server) handleLNR(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, err := s.svc.QueryLNR(r.Context(), p, sel.filter())
 	if err != nil {
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wireLNR(recs))
@@ -263,7 +308,7 @@ func serveBatch[T any](s *Server, w http.ResponseWriter, r *http.Request,
 	answers, err := query(r.Context(), pts, sel.filter())
 	exhausted := errors.Is(err, lbs.ErrBudgetExhausted)
 	if err != nil && !exhausted {
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		writeQueryError(w, err)
 		return
 	}
 	resp := batchResponse{Answers: make([]*queryResponse, len(answers)), Exhausted: exhausted}
@@ -277,7 +322,7 @@ func serveBatch[T any](s *Server, w http.ResponseWriter, r *http.Request,
 		served = true
 	}
 	if exhausted && !served {
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -294,15 +339,26 @@ func (s *Server) handleLNRBatch(w http.ResponseWriter, r *http.Request) {
 // Client is an HTTP implementation of the estimators' Oracle
 // interface. It fetches the service metadata once at construction and
 // counts queries locally (mirroring how a real client tracks its own
-// quota consumption).
+// quota consumption). Transient failures — transport errors, 5xx, and
+// 429s that are genuine rate limiting rather than a spent budget — are
+// retried with jittered exponential backoff (see RetryPolicy), so
+// remote estimation runs survive flaky gateways. Beyond raw queries,
+// the client drives server-side estimation jobs (Estimate, Job,
+// CancelJob, FollowJobTrace, WaitJob).
 type Client struct {
 	base    string
 	hc      *http.Client
 	sel     Selection
+	retry   RetryPolicy
 	k       int
 	bounds  geom.Rect
 	queries atomic.Int64
 }
+
+// SetRetryPolicy replaces the client's retry policy (default
+// DefaultRetryPolicy). Call it before sharing the client between
+// goroutines.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
 
 // metaTimeout bounds the construction-time /v1/meta probe when the
 // caller's context carries no deadline of its own and the HTTP client
@@ -319,17 +375,13 @@ func NewClient(ctx context.Context, baseURL string, sel Selection, httpClient *h
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	c := &Client{base: baseURL, hc: httpClient, sel: sel}
+	c := &Client{base: baseURL, hc: httpClient, sel: sel, retry: DefaultRetryPolicy()}
 	if _, ok := ctx.Deadline(); !ok && httpClient.Timeout == 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, metaTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/meta", nil)
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: meta: %w", err)
-	}
-	resp, err := httpClient.Do(req)
+	resp, err := c.do(ctx, http.MethodGet, baseURL+"/v1/meta", nil)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: meta: %w", err)
 	}
@@ -352,8 +404,8 @@ func (c *Client) K() int { return c.k }
 // QueryCount implements core.Oracle.
 func (c *Client) QueryCount() int64 { return c.queries.Load() }
 
-// get performs one wire query; the request is built with ctx so the
-// caller can cancel it in flight.
+// get performs one wire query with the client's retry policy; the
+// requests are built with ctx so the caller can cancel them in flight.
 func (c *Client) get(ctx context.Context, endpoint string, p geom.Point) (*queryResponse, error) {
 	v := url.Values{}
 	v.Set("x", strconv.FormatFloat(p.X, 'g', -1, 64))
@@ -364,21 +416,13 @@ func (c *Client) get(ctx context.Context, endpoint string, p geom.Point) (*query
 	if c.sel.Category != "" {
 		v.Set("category", c.sel.Category)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+endpoint+"?"+v.Encode(), nil)
+	resp, err := c.do(ctx, http.MethodGet, c.base+endpoint+"?"+v.Encode(), nil)
 	if err != nil {
-		return nil, fmt.Errorf("httpapi: query: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: query: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		return nil, lbs.ErrBudgetExhausted
-	}
 	if resp.StatusCode != http.StatusOK {
-		var e errorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&e)
+		e := decodeError(resp)
 		return nil, fmt.Errorf("httpapi: status %d: %s", resp.StatusCode, e.Error)
 	}
 	var out queryResponse
@@ -462,22 +506,17 @@ func (c *Client) postBatch(ctx context.Context, endpoint string, pts []geom.Poin
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: batch encode: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+endpoint, bytes.NewReader(body))
+	// Batch POSTs retry like GETs: a batch query is semantically
+	// idempotent (same points, same answers), so replaying a failed
+	// attempt is safe — at worst the lost attempt's budget charge is
+	// paid again, the same exposure a per-point GET retry has.
+	resp, err := c.do(ctx, http.MethodPost, c.base+endpoint, body)
 	if err != nil {
-		return nil, fmt.Errorf("httpapi: batch: %w", err)
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(hreq)
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: batch: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		return nil, lbs.ErrBudgetExhausted
-	}
 	if resp.StatusCode != http.StatusOK {
-		var e errorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&e)
+		e := decodeError(resp)
 		return nil, fmt.Errorf("httpapi: batch status %d: %s", resp.StatusCode, e.Error)
 	}
 	var out batchResponse

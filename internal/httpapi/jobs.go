@@ -1,0 +1,169 @@
+package httpapi
+
+// Server-side estimation jobs over the wire: the paper's algorithms as
+// a remotely drivable service.
+//
+//	POST   /v1/estimate        submit a jobs.Spec        → 202 + jobs.View
+//	GET    /v1/jobs/{id}       status + partial results  → 200 + jobs.View
+//	GET    /v1/jobs/{id}/trace NDJSON jobs.TraceEvent stream (replay+follow)
+//	DELETE /v1/jobs/{id}       cancel, wait, partial results → 200 + jobs.View
+//	GET    /v1/stats           live service/cache/job counters
+//
+// The estimation itself runs server-side against the server's backend
+// querier; only declarative specs (core.AggSpec trees) cross the wire,
+// never closures.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/jobs"
+	"repro/internal/lbs"
+)
+
+// maxEstimateBodyBytes bounds a job submission body; specs are small
+// (a deep predicate tree is a few KB).
+const maxEstimateBodyBytes = 1 << 20
+
+// handleEstimate creates and starts an estimation job.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBodyBytes)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid estimate body: %v", err)})
+		return
+	}
+	j, err := s.jobs.Create(spec)
+	if err != nil {
+		// Capacity exhaustion is server state, not a malformed request:
+		// clients may retry once a job finishes.
+		status := http.StatusBadRequest
+		if errors.Is(err, jobs.ErrTableFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+// jobFor resolves the {id} path value, rendering the 404 itself.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		return nil, false
+	}
+	return j, true
+}
+
+// handleJobGet reports a job's state and its (partial) results.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleJobDelete cancels a job and returns its settled view — for a
+// job canceled mid-run, the partial Results of the samples completed
+// before the cancel. Deleting a finished job is a no-op returning its
+// final view.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	s.jobs.Cancel(j.ID)
+	// The run stops at the next sample boundary; bounded by the
+	// request context, so an impatient client gets the best-effort
+	// snapshot instead of hanging.
+	_ = j.Wait(r.Context())
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleJobTrace streams the job's trace as NDJSON: one
+// jobs.TraceEvent per line, replaying from the earliest retained event
+// (the first sample, unless the job outgrew its bounded trace window)
+// and following live until the job settles or the client disconnects.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	_ = j.FollowTrace(r.Context(), func(e jobs.TraceEvent) error {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+// cacheStatsView is the wire form of lbs.CacheStats.
+type cacheStatsView struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Bypasses  int64 `json:"bypasses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	// Queries is the backend's lifetime query count (the paper's cost
+	// metric).
+	Queries int64 `json:"queries"`
+	// BudgetRemaining is the service budget still available, or -1
+	// when the budget is unlimited (or unknown for a custom backend).
+	BudgetRemaining int64 `json:"budget_remaining"`
+	// Cache reports answer-cache effectiveness when the backend chain
+	// contains a CachedOracle.
+	Cache *cacheStatsView `json:"cache,omitempty"`
+	// Jobs counts retained estimation jobs by state.
+	Jobs map[jobs.State]int `json:"jobs"`
+}
+
+// handleStats reports live service counters: query count, remaining
+// budget, cache stats (when serving through a CachedOracle) and job
+// state counts — the observable replacement for dumping stats at
+// process shutdown.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Queries:         s.svc.QueryCount(),
+		BudgetRemaining: -1,
+		Jobs:            s.jobs.Counts(),
+	}
+	// Walk the wrapper chain (cache gateways, scopes) probing each
+	// layer for the optional observability interfaces.
+	for q := s.svc; q != nil; {
+		if resp.Cache == nil {
+			if cs, ok := q.(interface{ Stats() lbs.CacheStats }); ok {
+				st := cs.Stats()
+				resp.Cache = &cacheStatsView{
+					Hits: st.Hits, Misses: st.Misses, Bypasses: st.Bypasses,
+					Evictions: st.Evictions, Entries: st.Entries,
+				}
+			}
+		}
+		if rb, ok := q.(interface{ RemainingBudget() int64 }); ok {
+			resp.BudgetRemaining = rb.RemainingBudget()
+		}
+		iw, ok := q.(interface{ Inner() lbs.Querier })
+		if !ok {
+			break
+		}
+		q = iw.Inner()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,587 @@
+// Package jobs turns estimation runs into first-class server
+// resources: a Manager creates, runs, observes and cancels estimation
+// jobs over a shared service backend. Each job compiles a declarative
+// request — method, per-job RNG seed, core.AggSpec aggregates, run
+// options — into an estimator wired through a job-scoped budget
+// querier (lbs.ScopedQuerier), so concurrent jobs share the service's
+// budget and cache while each keeps its own cost meter and cap. The
+// HTTP layer of internal/httpapi exposes the manager as
+// POST /v1/estimate, GET/DELETE /v1/jobs/{id} and the NDJSON trace
+// stream GET /v1/jobs/{id}/trace.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lbs"
+)
+
+// ErrTableFull is returned by Manager.Create when every retained job
+// is still running and the table cannot take another — a transient
+// server-capacity condition (HTTP maps it to 503), not a malformed
+// request.
+var ErrTableFull = errors.New("jobs: job table full")
+
+// Method names of the estimation algorithms a job can run.
+const (
+	MethodLR  = "lr"  // LR-LBS-AGG (§3), all error-reduction devices on
+	MethodLNR = "lnr" // LNR-LBS-AGG (§4)
+	MethodNNO = "nno" // LR-LBS-NNO baseline (Dalvi et al., KDD 2011)
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateRunning: the estimation goroutine is drawing samples.
+	StateRunning State = "running"
+	// StateDone: the run finished by one of its stopping rules.
+	StateDone State = "done"
+	// StateCanceled: the run was canceled; Results hold the samples
+	// completed before the cancel (partial results).
+	StateCanceled State = "canceled"
+	// StateFailed: the run died on an error before completing a single
+	// sample, or on a non-graceful transport error.
+	StateFailed State = "failed"
+)
+
+// Finished reports whether the state is terminal.
+func (s State) Finished() bool { return s != StateRunning }
+
+// RunOptions are the wire-expressible run bounds of one job — the
+// declarative form of the Driver's functional options.
+type RunOptions struct {
+	// MaxSamples stops the run after n completed samples (0 = unlimited).
+	MaxSamples int `json:"max_samples,omitempty"`
+	// MaxQueries bounds the job's own query spend: it is both a hard
+	// cap on the job's budget scope and the Driver's between-samples
+	// stopping rule (0 = unlimited).
+	MaxQueries int64 `json:"max_queries,omitempty"`
+	// TargetCI stops the run once every aggregate's 95 % confidence
+	// half-width falls below rel × |estimate| (0 disables).
+	TargetCI float64 `json:"target_ci,omitempty"`
+	// Parallelism draws samples from n concurrent estimator forks.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Batch draws up to m samples per oracle round-trip.
+	Batch int `json:"batch,omitempty"`
+}
+
+// Spec is a declarative estimation request: everything needed to run
+// the paper's algorithms server-side, expressible as JSON.
+type Spec struct {
+	// Method selects the algorithm: lr | lnr | nno.
+	Method string `json:"method"`
+	// Seed drives the job's randomness; the same seed, spec and budget
+	// reproduce the same estimates.
+	Seed int64 `json:"seed"`
+	// Aggregates are the declarative aggregate specs to estimate.
+	Aggregates []core.AggSpec `json:"aggregates"`
+	// Options bound the run.
+	Options RunOptions `json:"options"`
+}
+
+// maxParallelism and maxBatch bound the per-job resources one request
+// can demand of the server.
+const (
+	maxParallelism = 64
+	maxBatch       = 4096
+)
+
+// Validate rejects malformed specs (before any compilation).
+func (s *Spec) Validate() error {
+	switch s.Method {
+	case MethodLR, MethodLNR, MethodNNO:
+	case "":
+		return fmt.Errorf("jobs: missing method (want lr|lnr|nno)")
+	default:
+		return fmt.Errorf("jobs: unknown method %q (want lr|lnr|nno)", s.Method)
+	}
+	if len(s.Aggregates) == 0 {
+		return fmt.Errorf("jobs: no aggregates given")
+	}
+	o := s.Options
+	if o.MaxSamples < 0 || o.MaxQueries < 0 || o.TargetCI < 0 {
+		return fmt.Errorf("jobs: negative run option")
+	}
+	if o.Parallelism < 0 || o.Parallelism > maxParallelism {
+		return fmt.Errorf("jobs: parallelism %d out of range [0,%d]", o.Parallelism, maxParallelism)
+	}
+	if o.Batch < 0 || o.Batch > maxBatch {
+		return fmt.Errorf("jobs: batch %d out of range [0,%d]", o.Batch, maxBatch)
+	}
+	return nil
+}
+
+// JSONFloat marshals like a float64 but encodes NaN/±Inf as null, so
+// job views with undefined estimates (e.g. AVG over a zero count)
+// remain valid JSON.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler; null decodes to NaN.
+func (f *JSONFloat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// ResultView is the wire form of one aggregate's estimation result.
+type ResultView struct {
+	Name     string    `json:"name"`
+	Estimate JSONFloat `json:"estimate"`
+	StdErr   JSONFloat `json:"std_err"`
+	CI95     JSONFloat `json:"ci95"`
+	Samples  int       `json:"samples"`
+	Queries  int64     `json:"queries"`
+}
+
+// resultViewOf converts a core.Result (dropping the trace: the trace
+// endpoint streams it instead).
+func resultViewOf(r core.Result) ResultView {
+	return ResultView{
+		Name:     r.Name,
+		Estimate: JSONFloat(r.Estimate),
+		StdErr:   JSONFloat(r.StdErr),
+		CI95:     JSONFloat(r.CI95),
+		Samples:  r.Samples,
+		Queries:  r.Queries,
+	}
+}
+
+// TraceEvent is one NDJSON line of a job's trace stream: the running
+// estimate of one physical aggregate after one completed sample (AVG
+// specs stream their SUM and COUNT components).
+type TraceEvent struct {
+	Agg      string    `json:"agg"`
+	Queries  int64     `json:"queries"`
+	Samples  int       `json:"samples"`
+	Estimate JSONFloat `json:"estimate"`
+}
+
+// View is a JSON-marshalable snapshot of a job.
+type View struct {
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	Error   string `json:"error,omitempty"`
+	Method  string `json:"method"`
+	Seed    int64  `json:"seed"`
+	Samples int    `json:"samples"`
+	// Queries is the job-scoped query spend so far.
+	Queries int64 `json:"queries"`
+	// TraceLen is the number of trace events recorded so far.
+	TraceLen int `json:"trace_len"`
+	// Results are final when State is done, the latest partials while
+	// running or canceled mid-run.
+	Results    []ResultView `json:"results,omitempty"`
+	CreatedAt  time.Time    `json:"created_at"`
+	FinishedAt *time.Time   `json:"finished_at,omitempty"`
+}
+
+// ManagerOptions configures a Manager.
+type ManagerOptions struct {
+	// MaxJobs caps how many jobs (running + finished) the manager
+	// retains; creating past the cap evicts the oldest finished job,
+	// and fails when every retained job is still running. Default 1024.
+	MaxJobs int
+	// DefaultMaxQueries is applied to jobs that set no MaxQueries of
+	// their own (0 = no default, jobs run until the service refuses).
+	DefaultMaxQueries int64
+}
+
+// Manager owns the job table and the shared backend every job queries
+// through. It is safe for concurrent use.
+type Manager struct {
+	backend lbs.Querier
+	opts    ManagerOptions
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // creation order, for eviction
+	seq   int64
+}
+
+// NewManager creates a manager over backend (the raw simulator or a
+// cache gateway in front of it).
+func NewManager(backend lbs.Querier, opts ManagerOptions) *Manager {
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 1024
+	}
+	return &Manager{
+		backend: backend,
+		opts:    opts,
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Job is one estimation run: its spec, lifecycle state, partial or
+// final results, and the trace stream.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	plan   *core.AggPlan
+	scoped *lbs.ScopedQuerier
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   State
+	err     error
+	results []core.Result // finished: plan-level results
+	partial []core.Result // running: physical partials from progress
+	// trace is a bounded window of the newest events; traceBase is the
+	// absolute index of trace[0], so followers address events by
+	// absolute position even after old ones are trimmed.
+	trace      []TraceEvent
+	traceBase  int
+	traceWake  chan struct{} // closed+replaced on every trace append / finish
+	createdAt  time.Time
+	finishedAt time.Time
+}
+
+// maxTraceEvents bounds the per-job trace memory: a job is a server
+// resource an unauthenticated client can create, so an effectively
+// unbounded run (huge max_samples against an unlimited service) must
+// not grow its trace without limit. When the window is full the oldest
+// events are trimmed; late followers then start at the earliest
+// retained event instead of the job's first sample.
+const maxTraceEvents = 1 << 14
+
+// Create validates and compiles spec, registers a new job and starts
+// its estimation goroutine. The job runs until a stopping rule
+// triggers or Cancel is called.
+func (m *Manager) Create(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := core.CompilePlan(spec.Aggregates)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	if spec.Options.MaxQueries == 0 && m.opts.DefaultMaxQueries > 0 {
+		spec.Options.MaxQueries = m.opts.DefaultMaxQueries
+	}
+
+	m.mu.Lock()
+	if len(m.jobs) >= m.opts.MaxJobs && !m.evictOldestFinishedLocked() {
+		n := len(m.jobs)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d running jobs)", ErrTableFull, n)
+	}
+	m.seq++
+	id := "job-" + strconv.FormatInt(m.seq, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:        id,
+		Spec:      spec,
+		plan:      plan,
+		scoped:    lbs.NewScopedQuerier(m.backend, spec.Options.MaxQueries),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateRunning,
+		traceWake: make(chan struct{}),
+		createdAt: time.Now(),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	go j.run(ctx)
+	return j, nil
+}
+
+// evictOldestFinishedLocked drops the oldest finished job to make room.
+func (m *Manager) evictOldestFinishedLocked() bool {
+	for i, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		finished := j.state.Finished()
+		j.mu.Unlock()
+		if finished {
+			delete(m.jobs, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a running job; it is a no-op on
+// finished jobs. Use Job.Wait to observe the final (partial) results.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancel()
+	return j, true
+}
+
+// CancelAll cancels every running job and waits for them to settle,
+// bounded by ctx — the manager half of a graceful server shutdown.
+func (m *Manager) CancelAll(ctx context.Context) {
+	m.mu.Lock()
+	all := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j)
+	}
+	m.mu.Unlock()
+	for _, j := range all {
+		j.cancel()
+	}
+	for _, j := range all {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = j.Wait(ctx)
+	}
+}
+
+// Counts returns how many retained jobs are in each state.
+func (m *Manager) Counts() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[State]int, 4)
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// runOptions translates the wire options into Driver options, always
+// including the progress hook that feeds the trace and partials.
+func (j *Job) runOptions() []core.RunOption {
+	o := j.Spec.Options
+	// The job keeps its own bounded trace window fed by progress;
+	// WithoutTrace stops the driver from accumulating a second,
+	// unbounded copy inside the Results.
+	opts := []core.RunOption{core.WithProgress(j.onProgress), core.WithoutTrace()}
+	if o.MaxSamples > 0 {
+		opts = append(opts, core.WithMaxSamples(o.MaxSamples))
+	}
+	if o.MaxQueries > 0 {
+		opts = append(opts, core.WithMaxQueries(o.MaxQueries))
+	}
+	if o.TargetCI > 0 {
+		opts = append(opts, core.WithTargetCI(o.TargetCI))
+	}
+	if o.Parallelism > 1 {
+		opts = append(opts, core.WithParallelism(o.Parallelism))
+	}
+	if o.Batch > 1 {
+		opts = append(opts, core.WithBatch(o.Batch))
+	}
+	return opts
+}
+
+// buildEstimator constructs the requested algorithm over the job's
+// budget scope, seeded by the job's seed.
+func buildEstimator(method string, svc core.Oracle, seed int64) core.Estimator {
+	switch method {
+	case MethodLNR:
+		return core.NewLNRAggregator(svc, core.LNROptions{Seed: seed})
+	case MethodNNO:
+		return core.NewNNOBaseline(svc, core.NNOOptions{Seed: seed})
+	default: // MethodLR — Spec.Validate already rejected everything else
+		return core.NewLRAggregator(svc, core.DefaultLROptions(seed))
+	}
+}
+
+// run executes the estimation and settles the job.
+func (j *Job) run(ctx context.Context) {
+	defer close(j.done)
+	est := buildEstimator(j.Spec.Method, j.scoped, j.Spec.Seed)
+	results, err := core.Run(ctx, est, j.plan.Aggs, j.runOptions()...)
+
+	j.mu.Lock()
+	defer func() {
+		j.finishedAt = time.Now()
+		j.wakeLocked()
+		j.mu.Unlock()
+	}()
+	if results != nil {
+		j.results = j.plan.Finish(results)
+	}
+	switch {
+	case ctx.Err() != nil:
+		// Canceled: the driver returned whatever samples completed
+		// (err != nil only when not even one did).
+		j.state = StateCanceled
+		j.err = err
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+	}
+}
+
+// onProgress is the Driver's per-sample callback: it appends one trace
+// event per physical aggregate and refreshes the partial results. It
+// runs on the driver's collector goroutine.
+func (j *Job) onProgress(points []core.TracePoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.partial == nil {
+		j.partial = make([]core.Result, len(j.plan.Aggs))
+	}
+	for i, tp := range points {
+		name := j.plan.Aggs[i].Name
+		j.trace = append(j.trace, TraceEvent{
+			Agg:      name,
+			Queries:  tp.Queries,
+			Samples:  tp.Samples,
+			Estimate: JSONFloat(tp.Estimate),
+		})
+		j.partial[i] = core.Result{
+			Name:     name,
+			Estimate: tp.Estimate,
+			Samples:  tp.Samples,
+			Queries:  tp.Queries,
+		}
+	}
+	// Trim the window in chunks (half at a time) so long jobs do a
+	// memmove every ~8k events instead of every append.
+	if len(j.trace) > maxTraceEvents {
+		drop := len(j.trace) - maxTraceEvents/2
+		n := copy(j.trace, j.trace[drop:])
+		j.trace = j.trace[:n]
+		j.traceBase += drop
+	}
+	j.wakeLocked()
+}
+
+// wakeLocked wakes every trace follower; callers hold j.mu.
+func (j *Job) wakeLocked() {
+	close(j.traceWake)
+	j.traceWake = make(chan struct{})
+}
+
+// Wait blocks until the job settles or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done returns the settle channel (closed when the job finished).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current view.
+func (j *Job) Snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:        j.ID,
+		State:     j.state,
+		Method:    j.Spec.Method,
+		Seed:      j.Spec.Seed,
+		Queries:   j.scoped.QueryCount(),
+		TraceLen:  j.traceBase + len(j.trace),
+		CreatedAt: j.createdAt,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.state.Finished() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	results := j.results
+	if results == nil && j.partial != nil {
+		results = j.plan.Finish(j.partial)
+	}
+	for _, r := range results {
+		v.Results = append(v.Results, resultViewOf(r))
+	}
+	if len(results) > 0 {
+		v.Samples = results[0].Samples
+	}
+	return v
+}
+
+// TraceFrom copies the trace events at absolute index ≥ from,
+// reporting the absolute index right after the copied events, whether
+// the job has settled, and the wake channel to wait on for more. When
+// from falls before the retained window (trimmed by maxTraceEvents),
+// the copy starts at the earliest retained event.
+func (j *Job) TraceFrom(from int) (events []TraceEvent, next int, finished bool, wake <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < j.traceBase {
+		from = j.traceBase
+	}
+	if off := from - j.traceBase; off < len(j.trace) {
+		events = make([]TraceEvent, len(j.trace)-off)
+		copy(events, j.trace[off:])
+	}
+	return events, from + len(events), j.state.Finished(), j.traceWake
+}
+
+// FollowTrace replays the retained trace from its earliest event and
+// follows it until the job settles, the callback returns an error, or
+// ctx is done. fn is called once per event, in order. For jobs longer
+// than the retained window the replay starts mid-stream (every event
+// carries its own Samples/Queries coordinates, so the stream stays
+// interpretable).
+func (j *Job) FollowTrace(ctx context.Context, fn func(TraceEvent) error) error {
+	i := 0
+	for {
+		events, next, finished, wake := j.TraceFrom(i)
+		for _, e := range events {
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		i = next
+		if len(events) > 0 {
+			continue // drain before deciding the job is over
+		}
+		if finished {
+			return nil
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

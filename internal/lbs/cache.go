@@ -259,6 +259,11 @@ func (c *CachedOracle) cacheable(filter Filter) bool {
 	return filter == nil || c.trustFilter
 }
 
+// Inner returns the wrapped querier, so observers (e.g. the stats
+// endpoint of internal/httpapi) can walk a wrapper chain down to the
+// service that owns the budget.
+func (c *CachedOracle) Inner() Querier { return c.inner }
+
 // Bounds implements Querier.
 func (c *CachedOracle) Bounds() geom.Rect { return c.inner.Bounds() }
 

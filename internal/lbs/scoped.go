@@ -1,0 +1,183 @@
+package lbs
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// ScopedQuerier wraps a Querier with per-scope accounting: its
+// QueryCount counts only the queries issued through this wrapper, and
+// an optional scope budget caps them independently of the service's
+// own budget. One scope per estimation job gives every concurrent run
+// its own cost meter and cap while all of them share the underlying
+// service (and any cache layered over it) — without a scope, a run
+// measuring its spend through the shared QueryCount would charge
+// itself for every other job's queries.
+//
+// The scope charges before forwarding and refunds whatever the inner
+// querier did not answer, so transient failures and partially answered
+// batches never leak scope budget. Like the HTTP client's local
+// counter, the scope counts answered queries as seen from this side:
+// an answer replayed by an upstream cache still counts here even
+// though it consumed no service budget.
+//
+// A ScopedQuerier is safe for concurrent use whenever its inner
+// querier is.
+type ScopedQuerier struct {
+	inner   Querier
+	budget  int64 // 0 = unlimited
+	queries atomic.Int64
+}
+
+var _ Querier = (*ScopedQuerier)(nil)
+
+// NewScopedQuerier wraps inner with a fresh scope. budget ≤ 0 means
+// the scope only counts; a positive budget makes queries beyond it
+// fail with ErrBudgetExhausted (batches are granted partially, like
+// Service.QueryLRBatch).
+func NewScopedQuerier(inner Querier, budget int64) *ScopedQuerier {
+	if budget < 0 {
+		budget = 0
+	}
+	return &ScopedQuerier{inner: inner, budget: budget}
+}
+
+// Inner returns the wrapped querier.
+func (s *ScopedQuerier) Inner() Querier { return s.inner }
+
+// Bounds implements Querier.
+func (s *ScopedQuerier) Bounds() geom.Rect { return s.inner.Bounds() }
+
+// K implements Querier.
+func (s *ScopedQuerier) K() int { return s.inner.K() }
+
+// QueryCount returns the queries answered through this scope — the
+// scope-local cost metric.
+func (s *ScopedQuerier) QueryCount() int64 { return s.queries.Load() }
+
+// RemainingBudget returns how many scope queries may still be issued,
+// or −1 for an unlimited scope.
+func (s *ScopedQuerier) RemainingBudget() int64 {
+	if s.budget <= 0 {
+		return -1
+	}
+	rem := s.budget - s.queries.Load()
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// reserve grants up to n units of scope budget (CAS, like
+// Service.chargeN). A partial or empty grant reports
+// ErrBudgetExhausted.
+func (s *ScopedQuerier) reserve(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if s.budget <= 0 {
+		s.queries.Add(n)
+		return n, nil
+	}
+	for {
+		cur := s.queries.Load()
+		rem := s.budget - cur
+		if rem <= 0 {
+			return 0, ErrBudgetExhausted
+		}
+		granted := n
+		if rem < n {
+			granted = rem
+		}
+		if s.queries.CompareAndSwap(cur, cur+granted) {
+			if granted < n {
+				return granted, ErrBudgetExhausted
+			}
+			return granted, nil
+		}
+	}
+}
+
+// refund hands back reserved units the inner querier did not answer.
+func (s *ScopedQuerier) refund(n int64) {
+	if n > 0 {
+		s.queries.Add(-n)
+	}
+}
+
+// QueryLR implements Querier, charging one scope unit per answered
+// query.
+func (s *ScopedQuerier) QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]LRRecord, error) {
+	if _, err := s.reserve(1); err != nil {
+		return nil, err
+	}
+	recs, err := s.inner.QueryLR(ctx, q, filter)
+	if err != nil {
+		s.refund(1)
+		return nil, err
+	}
+	return recs, nil
+}
+
+// QueryLNR implements Querier.
+func (s *ScopedQuerier) QueryLNR(ctx context.Context, q geom.Point, filter Filter) ([]LNRRecord, error) {
+	if _, err := s.reserve(1); err != nil {
+		return nil, err
+	}
+	recs, err := s.inner.QueryLNR(ctx, q, filter)
+	if err != nil {
+		s.refund(1)
+		return nil, err
+	}
+	return recs, nil
+}
+
+// QueryLRBatch implements Querier: the scope grants a prefix of the
+// batch, forwards it, and keeps only the charge for positions the
+// inner querier actually answered (non-nil entries). The result is
+// index-aligned with pts; positions beyond either budget are nil
+// alongside ErrBudgetExhausted.
+func (s *ScopedQuerier) QueryLRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LRRecord, error) {
+	out := make([][]LRRecord, len(pts))
+	granted, rerr := s.reserve(int64(len(pts)))
+	if granted == 0 {
+		return out, rerr
+	}
+	inner, err := s.inner.QueryLRBatch(ctx, pts[:granted], filter)
+	var answered int64
+	for i := range inner {
+		if inner[i] != nil {
+			out[i] = inner[i]
+			answered++
+		}
+	}
+	s.refund(granted - answered)
+	if err != nil {
+		return out, err
+	}
+	return out, rerr
+}
+
+// QueryLNRBatch is the rank-only twin of QueryLRBatch.
+func (s *ScopedQuerier) QueryLNRBatch(ctx context.Context, pts []geom.Point, filter Filter) ([][]LNRRecord, error) {
+	out := make([][]LNRRecord, len(pts))
+	granted, rerr := s.reserve(int64(len(pts)))
+	if granted == 0 {
+		return out, rerr
+	}
+	inner, err := s.inner.QueryLNRBatch(ctx, pts[:granted], filter)
+	var answered int64
+	for i := range inner {
+		if inner[i] != nil {
+			out[i] = inner[i]
+			answered++
+		}
+	}
+	s.refund(granted - answered)
+	if err != nil {
+		return out, err
+	}
+	return out, rerr
+}

@@ -23,7 +23,7 @@
 //   - NewNNOBaseline — the prior-art LR-LBS-NNO estimator (Dalvi et
 //     al., KDD 2011), provided as the evaluation baseline.
 //
-// # Estimation sessions (API v2)
+// # Estimation sessions (API v3)
 //
 // All three algorithms implement the Estimator interface — a source
 // of i.i.d. point samples — and execute through one shared,
@@ -47,9 +47,45 @@
 // run gracefully and returns the Results of the samples completed so
 // far, and remote adapters cancel their in-flight HTTP requests.
 //
-// Estimation runs take Aggregate specs (Count, SumAttr, CountTag,
-// CountWhere, ...) and return Results with Bessel-corrected standard
-// errors, confidence intervals and full estimate-versus-cost traces.
+// Runs return Results with Bessel-corrected standard errors,
+// confidence intervals and full estimate-versus-cost traces.
+//
+// # Declarative aggregates (API v3)
+//
+// Aggregates are declarative specs rather than Go closures: a small
+// JSON-serializable predicate AST — AttrCmp, TagEq, InRect, combined
+// with And/Or/Not — plus aggregate specs built from CountSpec,
+// SumSpec(attr) and AvgSpec(attr), each optionally restricted with
+// WithWhere. CompilePlan compiles a request's spec list once into the
+// closure form the estimators execute (AVG expands into a SUM/COUNT
+// pair finished through RatioOf), so the declarative layer costs
+// nothing per sample:
+//
+//	plan, err := lbsagg.CompilePlan([]lbsagg.AggSpec{
+//		lbsagg.CountSpec(),
+//		lbsagg.AvgSpec("rating").WithWhere(lbsagg.TagEq("open_sunday", "yes")),
+//	})
+//	phys, err := agg.Run(ctx, plan.Aggs, lbsagg.WithMaxQueries(5000))
+//	results := plan.Finish(phys)
+//
+// Because specs are plain data, the same aggregate request can travel
+// over the wire — which is what makes estimation jobs possible.
+//
+// # Estimation jobs (API v3)
+//
+// An HTTP server (NewHTTPServer) is a full estimation service, not
+// just a raw oracle: POST /v1/estimate submits a declarative job —
+// method (lr | lnr | nno), per-job RNG seed, aggregate specs, run
+// options — that runs server-side with its own budget scope while all
+// jobs share the service's budget and cache. GET /v1/jobs/{id}
+// reports status and partial results, GET /v1/jobs/{id}/trace streams
+// the estimate-versus-cost trace as NDJSON, DELETE /v1/jobs/{id}
+// cancels and returns the partial results of the samples completed so
+// far, and GET /v1/stats exposes live query/budget/cache/job
+// counters. The HTTP client drives jobs remotely (Estimate, Job,
+// WaitJob, FollowJobTrace, CancelJob) and retries transient
+// failures — 5xx and genuine rate-limit 429s, never a spent budget —
+// with jittered exponential backoff (RetryPolicy).
 //
 // # Batch queries and answer caching
 //
@@ -97,14 +133,16 @@
 //	db := lbsagg.NewDatabase(bounds, tuples)
 //	svc := lbsagg.NewService(db, lbsagg.ServiceOptions{K: 10})
 //	agg := lbsagg.NewLRAggregator(svc, lbsagg.DefaultLROptions(42))
-//	res, err := agg.Run(ctx, []lbsagg.Aggregate{lbsagg.Count()},
+//	plan, err := lbsagg.CompilePlan([]lbsagg.AggSpec{lbsagg.CountSpec()})
+//	phys, err := agg.Run(ctx, plan.Aggs,
 //		lbsagg.WithMaxQueries(5000),
 //		lbsagg.WithParallelism(8))
+//	res := plan.Finish(phys)
 //
 // See examples/ for complete programs and internal/experiments for
 // the reproduction of every figure and table of the paper.
 //
-// # MIGRATION from the v1 API
+// # MIGRATION from the v1/v2 APIs
 //
 // v2 threads context.Context through the whole query path and moves
 // run limits into options. Old → new call sites:
@@ -120,6 +158,24 @@
 //	agg.Localize(id, anchor)    → agg.Localize(ctx, id, anchor)
 //	NewHTTPClient(url, sel, hc) → NewHTTPClient(ctx, url, sel, hc)
 //
+// v3 replaces closure-built aggregates with declarative specs. The
+// closure constructors remain as thin deprecated shims that compile
+// the equivalent spec:
+//
+//	Count()                  → CountSpec()                 (via CompilePlan)
+//	SumAttr(a)               → SumSpec(a)
+//	CountTag(t, v)           → CountSpec().WithWhere(TagEq(t, v))
+//	CountInRect(r)           → CountSpec().WithWhere(InRect(r))
+//	CountWhere(name, fn)     → CountSpec().WithWhere(pred).WithLabel(name)
+//	                           for predicates expressible in the AST;
+//	                           closure form stays for arbitrary Go conditions
+//	RatioOf(sum, count)      → AvgSpec(a) (finished by the plan)
+//
+// NewHTTPClient now returns the concrete *HTTPClient (still an
+// Oracle), exposing the job methods and the retry policy; and
+// NewHTTPServer returns the concrete *HTTPServer (still an
+// http.Handler), exposing the job manager for graceful shutdown.
+//
 // Custom Oracle implementations must add the ctx parameter to both
 // query methods; custom estimators implement Estimator (Step, Service,
 // Fork) and inherit the shared Driver.
@@ -132,6 +188,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/httpapi"
+	"repro/internal/jobs"
 	"repro/internal/lbs"
 	"repro/internal/sampling"
 	"repro/internal/workload"
@@ -232,22 +289,128 @@ func NewCachedOracle(inner Querier, opts CacheOptions) *CachedOracle {
 // wire protocol.
 type HTTPSelection = httpapi.Selection
 
+// HTTP service types (estimation as a service).
+type (
+	// HTTPServer serves the full estimation service: raw oracle
+	// endpoints, batch queries, estimation jobs and live stats.
+	HTTPServer = httpapi.Server
+	// HTTPServerOptions configures the optional server subsystems.
+	HTTPServerOptions = httpapi.ServerOptions
+	// HTTPClient is the remote Oracle and estimation-job client.
+	HTTPClient = httpapi.Client
+	// RetryPolicy bounds the HTTP client's transient-failure retries.
+	RetryPolicy = httpapi.RetryPolicy
+)
+
 // NewHTTPServer exposes a service backend over HTTP (see cmd/lbsserve
 // for a runnable server). Any Querier serves: the raw simulator or a
-// CachedOracle gateway in front of it.
-func NewHTTPServer(svc Querier) http.Handler { return httpapi.NewServer(svc) }
+// CachedOracle gateway in front of it. The returned server is an
+// http.Handler; its Jobs() manager runs /v1/estimate jobs.
+func NewHTTPServer(svc Querier) *HTTPServer { return httpapi.NewServer(svc) }
 
-// NewHTTPClient connects to an HTTP-exposed service and returns an
-// Oracle the estimators can run against — the template for adapting
-// real provider APIs. The construction-time metadata probe honors
-// ctx; queries issued later carry the per-run context.
-func NewHTTPClient(ctx context.Context, baseURL string, sel HTTPSelection, hc *http.Client) (Oracle, error) {
+// NewHTTPServerWith is NewHTTPServer with explicit options (job
+// retention cap, default per-job query budget).
+func NewHTTPServerWith(svc Querier, opts HTTPServerOptions) *HTTPServer {
+	return httpapi.NewServerWith(svc, opts)
+}
+
+// NewHTTPClient connects to an HTTP-exposed service and returns a
+// client the estimators can run against (it implements Oracle and
+// BatchOracle) — the template for adapting real provider APIs — and
+// that drives server-side estimation jobs (Estimate, Job, WaitJob,
+// FollowJobTrace, CancelJob). The construction-time metadata probe
+// honors ctx; queries issued later carry the per-run context.
+func NewHTTPClient(ctx context.Context, baseURL string, sel HTTPSelection, hc *http.Client) (*HTTPClient, error) {
 	return httpapi.NewClient(ctx, baseURL, sel, hc)
 }
 
+// Estimation-job types (the declarative request/response surface of
+// POST /v1/estimate; see the package overview).
+type (
+	// JobSpec is a declarative estimation request: method, seed,
+	// aggregate specs and run options.
+	JobSpec = jobs.Spec
+	// JobRunOptions are the wire form of the run options.
+	JobRunOptions = jobs.RunOptions
+	// JobView is a snapshot of a job: state, partial or final results.
+	JobView = jobs.View
+	// JobState is a job lifecycle phase (running, done, canceled,
+	// failed).
+	JobState = jobs.State
+	// JobResult is the wire form of one aggregate's result.
+	JobResult = jobs.ResultView
+	// JobTraceEvent is one NDJSON line of a job's trace stream.
+	JobTraceEvent = jobs.TraceEvent
+	// JobManager creates, observes and cancels server-side jobs.
+	JobManager = jobs.Manager
+)
+
+// Job method and state names.
+const (
+	JobMethodLR  = jobs.MethodLR
+	JobMethodLNR = jobs.MethodLNR
+	JobMethodNNO = jobs.MethodNNO
+
+	JobRunning  = jobs.StateRunning
+	JobDone     = jobs.StateDone
+	JobCanceled = jobs.StateCanceled
+	JobFailed   = jobs.StateFailed
+)
+
+// Declarative aggregate specs (API v3).
+type (
+	// PredSpec is a JSON-serializable predicate AST node.
+	PredSpec = core.PredSpec
+	// AggSpec is a declarative COUNT/SUM/AVG aggregate.
+	AggSpec = core.AggSpec
+	// RectSpec is the wire form of a rectangle.
+	RectSpec = core.RectSpec
+	// AggPlan is a compiled spec list: physical aggregates + finisher.
+	AggPlan = core.AggPlan
+)
+
+// Predicate constructors.
+var (
+	// AttrCmp compares a numeric attribute against a constant.
+	AttrCmp = core.AttrCmp
+	// TagEq tests a categorical attribute for equality.
+	TagEq = core.TagEq
+	// InRect tests the tuple location against a rectangle.
+	InRect = core.InRect
+	// And is the conjunction of its arguments.
+	And = core.And
+	// Or is the disjunction of its arguments.
+	Or = core.Or
+	// Not negates its argument.
+	Not = core.Not
+)
+
+// Comparison operators for AttrCmp.
+const (
+	CmpLT = core.CmpLT
+	CmpLE = core.CmpLE
+	CmpGT = core.CmpGT
+	CmpGE = core.CmpGE
+	CmpEQ = core.CmpEQ
+	CmpNE = core.CmpNE
+)
+
+// Aggregate-spec constructors.
+var (
+	// CountSpec builds COUNT(*).
+	CountSpec = core.CountSpec
+	// SumSpec builds SUM(attr).
+	SumSpec = core.SumSpec
+	// AvgSpec builds AVG(attr) (a SUM/COUNT pair under the hood).
+	AvgSpec = core.AvgSpec
+	// CompilePlan compiles a spec list into an executable AggPlan.
+	CompilePlan = core.CompilePlan
+)
+
 // Estimator types.
 type (
-	// Aggregate is a SUM/COUNT-style aggregate specification.
+	// Aggregate is the compiled (closure) form of an aggregate; build
+	// it from AggSpec via CompilePlan.
 	Aggregate = core.Aggregate
 	// Record is the estimator-visible view of a returned tuple.
 	Record = core.Record
@@ -317,7 +480,13 @@ func NewNNOBaseline(svc Oracle, opts NNOOptions) *NNOBaseline {
 	return core.NewNNOBaseline(svc, opts)
 }
 
-// Aggregate constructors.
+// Closure-form aggregate constructors.
+//
+// Deprecated: prefer the declarative spec constructors (CountSpec,
+// SumSpec, AvgSpec with WithWhere) compiled through CompilePlan —
+// specs serialize to JSON and can be submitted as remote jobs. The
+// closure forms remain for selection conditions that need arbitrary
+// Go code.
 var (
 	// Count returns the COUNT(*) aggregate.
 	Count = core.Count
