@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke
+.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json
 
 all: fmt vet build test
 
@@ -52,6 +52,22 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(GEOM_BENCH)' -benchmem $(GEOM_PKGS) > bench_geom.out
 	$(GO) run ./cmd/benchjson -o BENCH_geom.json < bench_geom.out
 	@rm -f bench_geom.out
+
+# The federation benchmark suite (sibling of bench-geom): the
+# scatter-gather query path at 1/2/4/8 in-process shards, serial and
+# batched, with the effective fan-out reported per query.
+FED_BENCH = BenchmarkFederatedQuery|BenchmarkFederatedBatch
+
+bench-fed:
+	$(GO) test -run '^$$' -bench '$(FED_BENCH)' -benchmem ./internal/shard
+
+# bench-fed-json records the federation suite in BENCH_federation.json
+# (same baseline-preserving layout as bench-json; the file self-primes
+# on first run).
+bench-fed-json:
+	$(GO) test -run '^$$' -bench '$(FED_BENCH)' -benchmem ./internal/shard > bench_fed.out
+	$(GO) run ./cmd/benchjson -o BENCH_federation.json < bench_fed.out
+	@rm -f bench_fed.out
 
 # bench-smoke compiles and runs every benchmark once — the CI guard
 # that keeps bench code from rotting.

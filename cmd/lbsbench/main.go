@@ -104,6 +104,7 @@ func main() {
 		k      = flag.Int("k", 0, "service top-k override")
 		seed   = flag.Int64("seed", 0, "base seed override")
 		batch  = flag.Int("batch", 0, "samples per oracle round-trip for batch-capable estimators (0/1 = unbatched)")
+		shards = flag.Int("shards", 0, "run local experiments against a federated backend of this many in-process spatial shards (0/1 = single service; answers are bit-identical)")
 
 		remote      = flag.String("remote", "", "base URL of an lbsserve to submit one estimation job to (switches lbsbench into remote-client mode)")
 		method      = flag.String("method", "lr", "remote job method: lr | lnr | nno")
@@ -168,6 +169,9 @@ func main() {
 	}
 	if *batch > 1 {
 		cfg.Batch = *batch
+	}
+	if *shards > 1 {
+		cfg.Shards = *shards
 	}
 
 	figures := map[string]runner{

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lbs"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -37,6 +38,13 @@ type Config struct {
 	// sample distribution and query cost are unchanged — only the
 	// round-trip count drops.
 	Batch int
+	// Shards, when > 1, runs the estimators against a federated
+	// service (internal/shard) of this many in-process spatial shards
+	// instead of a single Service. Federated answers are bit-identical
+	// to the single-service ones, so every figure reproduces unchanged
+	// — the knob exists to exercise and measure the scale-out path
+	// under the full evaluation workload (lbsbench -shards).
+	Shards int
 }
 
 // Paper returns the full-scale configuration.
@@ -251,9 +259,13 @@ func runTraces(ctx context.Context, cfg Config, sc *workload.Scenario, svcOpts l
 	agg core.Aggregate, truth float64) (*traceSet, error) {
 
 	ts := &traceSet{name: spec.Name, truth: truth}
+	newSvc := serviceFactory(cfg, sc.DB, svcOpts)
 	for r := 0; r < cfg.Runs; r++ {
 		seed := cfg.Seed + int64(r)*7919
-		svc := lbs.NewService(sc.DB, svcOpts)
+		svc, err := newSvc()
+		if err != nil {
+			return nil, err
+		}
 		res, err := runOne(ctx, svc, sc, spec, agg, seed, cfg.Budget, cfg.Batch)
 		if err != nil {
 			return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
@@ -261,6 +273,20 @@ func runTraces(ctx context.Context, cfg Config, sc *workload.Scenario, svcOpts l
 		ts.traces = append(ts.traces, res.Trace)
 	}
 	return ts, nil
+}
+
+// serviceFactory returns a constructor yielding one fresh oracle per
+// run: a single service view, or — when cfg.Shards > 1 — a federated
+// router over that many in-process spatial shards, which answers
+// bit-identically. The database is partitioned (and its shard k-d
+// trees built) once up front; each run rebuilds only the cheap
+// router/service layer so its budget and counters start fresh.
+func serviceFactory(cfg Config, db *lbs.Database, opts lbs.Options) func() (core.Oracle, error) {
+	if cfg.Shards > 1 {
+		parts := shard.Partition(db, cfg.Shards)
+		return func() (core.Oracle, error) { return shard.FromParts(parts, opts) }
+	}
+	return func() (core.Oracle, error) { return lbs.NewService(db, opts), nil }
 }
 
 // runOpts assembles the driver options of one estimation run.
@@ -274,7 +300,7 @@ func runOpts(budget int64, batch int) []core.RunOption {
 
 // runOne executes a single run of a spec and returns the result for
 // the aggregate.
-func runOne(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
+func runOne(ctx context.Context, svc core.Oracle, sc *workload.Scenario, spec AlgoSpec,
 	agg core.Aggregate, seed, budget int64, batch int) (core.Result, error) {
 
 	switch spec.Kind {

@@ -145,11 +145,15 @@ func Fig17(ctx context.Context, cfg Config) (*Figure, error) {
 	}
 	errGrid := defaultErrGrid()
 	specs := []AlgoSpec{nnoSpec(), lrSpec(), lnrSpec()}
+	newSvc := serviceFactory(cfg, sc.DB, lbs.Options{K: cfg.K})
 	for _, spec := range specs {
 		ts := &traceSet{name: spec.Name, truth: truthAvg}
 		for r := 0; r < cfg.Runs; r++ {
 			seed := cfg.Seed + int64(r)*7919
-			svc := lbs.NewService(sc.DB, lbs.Options{K: cfg.K})
+			svc, err := newSvc()
+			if err != nil {
+				return nil, err
+			}
 			trace, err := runRatio(ctx, svc, sc, spec, sumAgg, cntAgg, austin, seed, cfg.Budget, cfg.Batch)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)
@@ -163,7 +167,7 @@ func Fig17(ctx context.Context, cfg Config) (*Figure, error) {
 
 // runRatio runs one ratio (AVG) estimation restricted to a region and
 // returns the ratio trace.
-func runRatio(ctx context.Context, svc *lbs.Service, sc *workload.Scenario, spec AlgoSpec,
+func runRatio(ctx context.Context, svc core.Oracle, sc *workload.Scenario, spec AlgoSpec,
 	num, den core.Aggregate, region geom.Rect, seed, budget int64, batch int) ([]core.TracePoint, error) {
 
 	aggs := []core.Aggregate{num, den}

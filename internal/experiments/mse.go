@@ -28,11 +28,15 @@ func MSEDecomposition(ctx context.Context, cfg Config) ([]MSERow, error) {
 	truth := float64(sc.DB.Len())
 	specs := []AlgoSpec{lrSpec(), lnrSpec(), nnoSpec()}
 	rows := make([]MSERow, 0, len(specs))
+	newSvc := serviceFactory(cfg, sc.DB, lbs.Options{K: cfg.K})
 	for _, spec := range specs {
 		outcomes := make([]stats.RunOutcome, 0, cfg.Runs)
 		for r := 0; r < cfg.Runs; r++ {
 			seed := cfg.Seed + int64(r)*7919
-			svc := lbs.NewService(sc.DB, lbs.Options{K: cfg.K})
+			svc, err := newSvc()
+			if err != nil {
+				return nil, err
+			}
 			res, err := runOne(ctx, svc, sc, spec, core.Count(), seed, cfg.Budget, cfg.Batch)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", spec.Name, r, err)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -28,18 +29,37 @@ func decodeView(resp *http.Response) (*jobs.View, error) {
 
 // Estimate submits a declarative estimation job (POST /v1/estimate)
 // and returns its initial view; the job runs server-side. Submission
-// is not idempotent, so it is never retried — wrap it yourself if a
-// duplicate job is acceptable on your gateway.
+// is not idempotent, so failures that may have created a job (5xx,
+// transport errors) are never retried — wrap it yourself if a
+// duplicate job is acceptable on your gateway. The one exception is a
+// capacity 429 (code=jobs_exhausted): the server provably created
+// nothing, the condition clears as running jobs settle, so the client
+// waits it out with the policy's backoff. A budget-exhausted 429 is
+// permanent and surfaces immediately; errors.Is(err,
+// jobs.ErrTableFull) detects a capacity refusal that outlasted every
+// attempt.
 func (c *Client) Estimate(ctx context.Context, spec jobs.Spec) (*jobs.View, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: estimate encode: %w", err)
 	}
-	resp, err := c.doOnce(ctx, http.MethodPost, c.base+"/v1/estimate", body)
-	if err != nil {
-		return nil, err
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return decodeView(resp)
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(ctx, http.MethodPost, c.base+"/v1/estimate", body)
+		if err != nil {
+			if errors.Is(err, jobs.ErrTableFull) && attempt+1 < attempts {
+				if serr := sleepCtx(ctx, c.retry.backoff(attempt+1)); serr != nil {
+					return nil, fmt.Errorf("httpapi: estimate: %w (after %v)", serr, err)
+				}
+				continue
+			}
+			return nil, err
+		}
+		return decodeView(resp)
+	}
 }
 
 // Job fetches a job's current view (GET /v1/jobs/{id}), retrying

@@ -90,6 +90,13 @@ type queryResponse struct {
 // transient rate-limit 429, which retry policies may wait out.
 const codeBudgetExhausted = "budget_exhausted"
 
+// codeJobsExhausted marks a 429 caused by the job table being at
+// capacity with every retained job still running — transient server
+// state that clears as soon as one job settles. Unlike a spent budget
+// it IS worth retrying, and because the refused submission created no
+// job, even non-idempotent clients may replay it safely.
+const codeJobsExhausted = "jobs_exhausted"
+
 type errorResponse struct {
 	Error string `json:"error"`
 	// Code is a machine-readable error class (codeBudgetExhausted).
@@ -127,6 +134,15 @@ const (
 	maxBatchPoints    = 1024
 	maxBatchBodyBytes = 256 << 10
 )
+
+// ErrPerCallFilter is returned by the HTTP client when a query
+// carries a non-nil functional filter: closures cannot cross the
+// network, so selections must be configured declaratively (Selection)
+// per client. A federation front over remote upstreams surfaces it as
+// a 400 — filtered queries need per-selection upstream clients, the
+// same per-selection discipline CacheOptions.Selection imposes on
+// shared caches.
+var ErrPerCallFilter = errors.New("httpapi: per-call filters unsupported; configure Selection on the client")
 
 // Server adapts a service view into an http.Handler. Any lbs.Querier
 // works as the backend: the raw simulator, or a CachedOracle layered
@@ -189,6 +205,13 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func writeQueryError(w http.ResponseWriter, err error) {
 	if errors.Is(err, lbs.ErrBudgetExhausted) {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Code: codeBudgetExhausted})
+		return
+	}
+	if errors.Is(err, ErrPerCallFilter) {
+		// The backend (e.g. a federation of remote upstreams) cannot
+		// apply this request's selection: a client-side request
+		// problem, not a server fault.
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
@@ -438,7 +461,7 @@ func (c *Client) get(ctx context.Context, endpoint string, p geom.Point) (*query
 // cannot cross the network).
 func (c *Client) QueryLR(ctx context.Context, p geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
 	if filter != nil {
-		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
+		return nil, ErrPerCallFilter
 	}
 	out, err := c.get(ctx, "/v1/lr", p)
 	if err != nil {
@@ -469,7 +492,7 @@ func lrOfWire(results []wireRecord) []lbs.LRRecord {
 // QueryLNR implements core.Oracle (same filter restriction as QueryLR).
 func (c *Client) QueryLNR(ctx context.Context, p geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error) {
 	if filter != nil {
-		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
+		return nil, ErrPerCallFilter
 	}
 	out, err := c.get(ctx, "/v1/lnr", p)
 	if err != nil {
@@ -544,7 +567,7 @@ func clientBatch[T any](c *Client, ctx context.Context, endpoint string, pts []g
 	filter lbs.Filter, decode func([]wireRecord) []T) ([][]T, error) {
 
 	if filter != nil {
-		return nil, fmt.Errorf("httpapi: per-call filters unsupported; configure Selection on the client")
+		return nil, ErrPerCallFilter
 	}
 	if len(pts) == 0 {
 		return nil, nil

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/lbs"
+	"repro/internal/shard"
 )
 
 // maxEstimateBodyBytes bounds a job submission body; specs are small
@@ -37,12 +38,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Create(spec)
 	if err != nil {
 		// Capacity exhaustion is server state, not a malformed request:
-		// clients may retry once a job finishes.
-		status := http.StatusBadRequest
+		// a 429 with its own machine-readable code, so retry policies
+		// can wait it out (capacity clears when a job settles) while a
+		// budget-exhausted 429 stays terminal.
 		if errors.Is(err, jobs.ErrTableFull) {
-			status = http.StatusServiceUnavailable
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Code: codeJobsExhausted})
+			return
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
@@ -119,6 +122,24 @@ type cacheStatsView struct {
 	Entries   int64 `json:"entries"`
 }
 
+// shardStatView is the wire form of one federation member's stats.
+type shardStatView struct {
+	MinX    float64 `json:"min_x"`
+	MinY    float64 `json:"min_y"`
+	MaxX    float64 `json:"max_x"`
+	MaxY    float64 `json:"max_y"`
+	Queries int64   `json:"queries"`
+}
+
+// federationStatsView is the wire form of shard.RouterStats.
+type federationStatsView struct {
+	// Logical is the federation's client-visible query count; Upstream
+	// the physical subqueries fanned out across the shards.
+	Logical  int64           `json:"logical"`
+	Upstream int64           `json:"upstream"`
+	Shards   []shardStatView `json:"shards"`
+}
+
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
 	// Queries is the backend's lifetime query count (the paper's cost
@@ -130,22 +151,29 @@ type statsResponse struct {
 	// Cache reports answer-cache effectiveness when the backend chain
 	// contains a CachedOracle.
 	Cache *cacheStatsView `json:"cache,omitempty"`
+	// Federation reports scatter-gather and per-shard counters when
+	// the backend chain ends in a shard.Router.
+	Federation *federationStatsView `json:"federation,omitempty"`
 	// Jobs counts retained estimation jobs by state.
 	Jobs map[jobs.State]int `json:"jobs"`
 }
 
 // handleStats reports live service counters: query count, remaining
-// budget, cache stats (when serving through a CachedOracle) and job
+// budget, cache stats (when serving through a CachedOracle),
+// federation stats (when serving through a shard.Router) and job
 // state counts — the observable replacement for dumping stats at
 // process shutdown.
+//
+// The walk is generic over lbs.Wrapper, so arbitrary stacks —
+// Scoped→Cached→Service, Cached→Router→..., deeper gateways — report
+// every layer's optional stats interfaces, not just the outermost
+// querier's.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Queries:         s.svc.QueryCount(),
 		BudgetRemaining: -1,
 		Jobs:            s.jobs.Counts(),
 	}
-	// Walk the wrapper chain (cache gateways, scopes) probing each
-	// layer for the optional observability interfaces.
 	for q := s.svc; q != nil; {
 		if resp.Cache == nil {
 			if cs, ok := q.(interface{ Stats() lbs.CacheStats }); ok {
@@ -156,10 +184,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
+		if resp.Federation == nil {
+			if fs, ok := q.(interface{ Stats() shard.RouterStats }); ok {
+				st := fs.Stats()
+				fv := &federationStatsView{Logical: st.Logical, Upstream: st.Upstream}
+				for _, sh := range st.Shards {
+					fv.Shards = append(fv.Shards, shardStatView{
+						MinX: sh.Region.Min.X, MinY: sh.Region.Min.Y,
+						MaxX: sh.Region.Max.X, MaxY: sh.Region.Max.Y,
+						Queries: sh.Queries,
+					})
+				}
+				resp.Federation = fv
+			}
+		}
 		if rb, ok := q.(interface{ RemainingBudget() int64 }); ok {
 			resp.BudgetRemaining = rb.RemainingBudget()
 		}
-		iw, ok := q.(interface{ Inner() lbs.Querier })
+		iw, ok := q.(lbs.Wrapper)
 		if !ok {
 			break
 		}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/lbs"
 )
 
@@ -135,10 +136,19 @@ func (c *Client) doAttempts(ctx context.Context, method, url string, body []byte
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			e := decodeError(resp)
-			if e.Code == codeBudgetExhausted {
+			switch e.Code {
+			case codeBudgetExhausted:
+				// Permanent: a spent budget never un-spends. Never
+				// retried, surfaced as the sentinel at once.
 				return nil, lbs.ErrBudgetExhausted
+			case codeJobsExhausted:
+				// Transient capacity: the job table drains as jobs
+				// settle. Retryable, and wrapped so callers can detect
+				// the condition (errors.Is(err, jobs.ErrTableFull)).
+				lastErr = fmt.Errorf("status 429: %s: %w", e.Error, jobs.ErrTableFull)
+			default:
+				lastErr = fmt.Errorf("status 429: %s", e.Error)
 			}
-			lastErr = fmt.Errorf("status 429: %s", e.Error)
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {

@@ -25,8 +25,10 @@ import (
 
 // ErrTableFull is returned by Manager.Create when every retained job
 // is still running and the table cannot take another — a transient
-// server-capacity condition (HTTP maps it to 503), not a malformed
-// request.
+// server-capacity condition, not a malformed request. The HTTP layer
+// maps it to 429 with code=jobs_exhausted, which retry policies treat
+// as retryable (capacity clears when a job settles) in contrast to the
+// permanent budget_exhausted 429.
 var ErrTableFull = errors.New("jobs: job table full")
 
 // Method names of the estimation algorithms a job can run.

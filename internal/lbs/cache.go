@@ -214,15 +214,28 @@ func NewCachedOracle(inner Querier, opts CacheOptions) *CachedOracle {
 	return c
 }
 
+// normZero collapses negative zero onto positive zero: -0.0 and +0.0
+// are the same query point (they compare equal and yield identical
+// distances), but their Float64bits differ, so keying on the raw bit
+// pattern would give the one point two cache entries — and, through
+// math.Floor, let quantized keys straddle the sign at a cell boundary.
+func normZero(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v
+}
+
 // keyFor quantizes p and assembles the cache key.
 func (c *CachedOracle) keyFor(kind uint8, p geom.Point) cacheKey {
+	x, y := normZero(p.X), normZero(p.Y)
 	var qx, qy uint64
 	if c.quantum > 0 {
-		qx = uint64(int64(math.Floor(p.X / c.quantum)))
-		qy = uint64(int64(math.Floor(p.Y / c.quantum)))
+		qx = uint64(int64(normZero(math.Floor(x / c.quantum))))
+		qy = uint64(int64(normZero(math.Floor(y / c.quantum))))
 	} else {
-		qx = math.Float64bits(p.X)
-		qy = math.Float64bits(p.Y)
+		qx = math.Float64bits(x)
+		qy = math.Float64bits(y)
 	}
 	return cacheKey{kind: kind, k: c.inner.K(), qx: qx, qy: qy, sel: c.sel}
 }

@@ -180,6 +180,33 @@ func NewObfuscatedDatabase(bounds geom.Rect, tuples []Tuple, obf Obfuscation) *D
 	return db
 }
 
+// NewDatabaseWithLocations builds a database whose ranking (effective)
+// locations are supplied explicitly, index-aligned with tuples. It is
+// the constructor federation partitioners use to split an obfuscated
+// database: re-deriving effective locations from an Obfuscation seed
+// is order-dependent, so a shard must carry over the exact effective
+// locations of its parent database instead. The effective slice is
+// copied; the caller keeps ownership of its argument.
+func NewDatabaseWithLocations(bounds geom.Rect, tuples []Tuple, effective []geom.Point) *Database {
+	if len(effective) != len(tuples) {
+		panic(fmt.Sprintf("lbs: %d effective locations for %d tuples", len(effective), len(tuples)))
+	}
+	db := &Database{
+		bounds:    bounds,
+		tuples:    tuples,
+		effective: append([]geom.Point(nil), effective...),
+		byID:      make(map[int64]int, len(tuples)),
+	}
+	for i := range tuples {
+		if _, dup := db.byID[tuples[i].ID]; dup {
+			panic(fmt.Sprintf("lbs: duplicate tuple ID %d", tuples[i].ID))
+		}
+		db.byID[tuples[i].ID] = i
+	}
+	db.tree = kdtree.BuildOwned(db.effective)
+	return db
+}
+
 // Len returns the number of tuples.
 func (db *Database) Len() int { return len(db.tuples) }
 
@@ -319,11 +346,32 @@ func (o *Options) validate() error {
 	return nil
 }
 
+// Normalized returns a copy of o with defaulted fields filled in
+// (ProminenceOverfetch), or an error for nonsensical configurations —
+// the same validation NewService applies, usable without constructing
+// a service. Federation routers normalize their logical options
+// through it so their selection semantics match a Service's exactly.
+func (o Options) Normalized() (Options, error) {
+	c := o
+	if err := c.validate(); err != nil {
+		return Options{}, err
+	}
+	return c, nil
+}
+
 // Querier is the query surface of a service view: point queries, batch
 // queries and the metadata the estimators need. *Service implements
 // it, and so do client-side wrappers such as CachedOracle; code
 // written against Querier (the HTTP server, the estimation driver)
 // accepts either. Implementations must be safe for concurrent use.
+//
+// Query points are not restricted to Bounds(): a query anywhere on
+// the plane is answered from the full database, subject only to the
+// MaxRadius coverage constraint — exactly how real map APIs behave
+// when probed from outside their market. Bounds() is metadata for the
+// estimators' sampling region, not an input domain, and every
+// implementation (the simulator, wrappers, federation routers) must
+// answer out-of-bounds points identically.
 type Querier interface {
 	QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]LRRecord, error)
 	QueryLNR(ctx context.Context, q geom.Point, filter Filter) ([]LNRRecord, error)
@@ -332,6 +380,17 @@ type Querier interface {
 	Bounds() geom.Rect
 	K() int
 	QueryCount() int64
+}
+
+// Wrapper is implemented by queriers that decorate a single inner
+// Querier (ScopedQuerier, CachedOracle). Observers walk wrapper chains
+// through it — e.g. the HTTP stats endpoint probes every layer of a
+// Scoped→Cached→Service stack for its optional stats interfaces.
+// Multi-child compositions (a federation router) are deliberately not
+// Wrappers: a chain walk ends there and the composite reports its own
+// aggregated stats instead.
+type Wrapper interface {
+	Inner() Querier
 }
 
 // Service is a queryable kNN interface over a database. It is safe for
@@ -365,11 +424,15 @@ func (s *Service) putScratch(sc *queryScratch) { s.scratch.Put(sc) }
 // promScored is one prominence-reranked candidate.
 type promScored struct {
 	idx   int
+	id    int64
 	score float64
 }
 
-// promSorter sorts candidates by (score, idx); a named slice type so
-// sort.Sort on a pooled pointer stays allocation-free.
+// promSorter sorts candidates by (score, ID); a named slice type so
+// sort.Sort on a pooled pointer stays allocation-free. The tie-break
+// is the tuple's public ID — not its internal index — so the ordering
+// is a property of the data alone and a federated router merging
+// candidates from several shards reproduces it exactly.
 type promSorter []promScored
 
 func (p promSorter) Len() int { return len(p) }
@@ -377,7 +440,7 @@ func (p promSorter) Less(a, b int) bool {
 	if p[a].score != p[b].score {
 		return p[a].score < p[b].score
 	}
-	return p[a].idx < p[b].idx
+	return p[a].id < p[b].id
 }
 func (p promSorter) Swap(a, b int) { p[a], p[b] = p[b], p[a] }
 
@@ -513,9 +576,90 @@ func (s *Service) VirtualWaited() time.Duration {
 	return s.opts.Limiter.VirtualElapsed()
 }
 
+// rankCandidates returns the `want` nearest tuples of q under the
+// service's ordering contract: ascending distance, exact ties broken
+// by ascending tuple ID. The k-d tree breaks ties by internal index,
+// which is an artifact of construction order, so the raw search result
+// is post-processed: equal-distance runs are reordered by ID, and when
+// a tie straddles the selection boundary (common under grid-snapped
+// obfuscation, where many tuples share an effective location) the
+// search is escalated until every tuple tied at the boundary distance
+// is visible, so the kept set is the one (dist, ID) selects. Making
+// the ordering a property of the data alone is what lets a federation
+// router merge per-shard answers into the exact single-service result.
+// The returned slice aliases sc.nbs.
+func (s *Service) rankCandidates(sc *queryScratch, q geom.Point, want int, kf func(int) bool, maxDist float64) []kdtree.Neighbor {
+	fetch := want + 1 // +1 probes for a tie at the boundary
+	for {
+		nbs := s.db.tree.KNNWithinInto(q, fetch, maxDist, kf, sc.nbs)
+		sc.nbs = nbs
+		if len(nbs) <= want {
+			// The whole eligible set fits: no selection to resolve.
+			s.sortTiesByID(nbs)
+			return nbs
+		}
+		bound := nbs[want-1].Dist
+		switch {
+		case nbs[want].Dist != bound:
+			// Boundary unambiguous: the want-nearest set is unique.
+			nbs = nbs[:want]
+			s.sortTiesByID(nbs)
+			return nbs
+		case len(nbs) < fetch || nbs[len(nbs)-1].Dist != bound:
+			// Every tuple tied at the boundary distance is in view:
+			// order the tie run by ID and keep the first `want`.
+			i := want - 1
+			for i > 0 && nbs[i-1].Dist == bound {
+				i--
+			}
+			j := want
+			for j < len(nbs) && nbs[j].Dist == bound {
+				j++
+			}
+			s.sortRunByID(nbs[i:j])
+			nbs = nbs[:want]
+			s.sortTiesByID(nbs[:i])
+			return nbs
+		default:
+			// The tie run may extend past what was fetched: escalate.
+			fetch *= 2
+		}
+	}
+}
+
+// sortTiesByID reorders every equal-distance run of an ascending
+// neighbor list by tuple ID (insertion sort per run: runs are short,
+// and the common no-tie case costs one comparison per element).
+func (s *Service) sortTiesByID(nbs []kdtree.Neighbor) {
+	for i := 0; i < len(nbs); {
+		j := i + 1
+		for j < len(nbs) && nbs[j].Dist == nbs[i].Dist {
+			j++
+		}
+		if j-i > 1 {
+			s.sortRunByID(nbs[i:j])
+		}
+		i = j
+	}
+}
+
+// sortRunByID insertion-sorts one equal-distance run by tuple ID.
+func (s *Service) sortRunByID(run []kdtree.Neighbor) {
+	for i := 1; i < len(run); i++ {
+		for j := i; j > 0 && s.db.tuples[run[j].Index].ID < s.db.tuples[run[j-1].Index].ID; j-- {
+			run[j], run[j-1] = run[j-1], run[j]
+		}
+	}
+}
+
 // rawQueryInto runs the ranked search shared by both views, writing
 // through the pooled scratch. It returns tuple indices in rank order;
 // the slice aliases sc.idxs and is valid until the scratch is reused.
+//
+// Ordering contract: distance rank orders by (dist, ID); prominence
+// rank orders its distance-candidate set (the K×overfetch nearest
+// under the same (dist, ID) selection) by (score, ID). Both are
+// properties of the data alone — see rankCandidates.
 func (s *Service) rawQueryInto(sc *queryScratch, q geom.Point, filter Filter) []int {
 	kf := func(i int) bool {
 		return filter == nil || filter(&s.db.tuples[i])
@@ -529,13 +673,13 @@ func (s *Service) rawQueryInto(sc *queryScratch, q geom.Point, filter Filter) []
 	}
 	switch s.opts.Rank {
 	case RankByProminence:
-		cand := s.db.tree.KNNWithinInto(q, s.opts.K*s.opts.ProminenceOverfetch, maxDist, kf, sc.nbs)
-		sc.nbs = cand
+		cand := s.rankCandidates(sc, q, s.opts.K*s.opts.ProminenceOverfetch, kf, maxDist)
 		scored := sc.scored[:0]
 		for _, nb := range cand {
 			t := &s.db.tuples[nb.Index]
 			scored = append(scored, promScored{
 				idx:   nb.Index,
+				id:    t.ID,
 				score: nb.Dist - s.opts.ProminenceWeight*t.Attr(s.opts.ProminenceAttr),
 			})
 		}
@@ -552,8 +696,7 @@ func (s *Service) rawQueryInto(sc *queryScratch, q geom.Point, filter Filter) []
 		sc.idxs = out
 		return out
 	default:
-		nbs := s.db.tree.KNNWithinInto(q, s.opts.K, maxDist, kf, sc.nbs)
-		sc.nbs = nbs
+		nbs := s.rankCandidates(sc, q, s.opts.K, kf, maxDist)
 		out := sc.idxs[:0]
 		for _, nb := range nbs {
 			out = append(out, nb.Index)
@@ -577,6 +720,9 @@ type LRRecord struct {
 // QueryLR answers a location-returned kNN query: the top-k tuples
 // nearest q (per the service's ranking), each with its location. An
 // empty non-nil slice means "no tuple within the coverage radius".
+// Results are ordered by (distance, ID) — prominence rank by
+// (score, ID) — so the ranking is a property of the data alone (see
+// rankCandidates). q may lie outside Bounds(); see Querier.
 func (s *Service) QueryLR(ctx context.Context, q geom.Point, filter Filter) ([]LRRecord, error) {
 	if err := s.charge(ctx); err != nil {
 		return nil, err

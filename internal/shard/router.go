@@ -1,0 +1,570 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+)
+
+// Shard is one federation member: a querier answering distance-ranked
+// candidate queries for the tuples whose effective locations lie in
+// Region. In-process members are *lbs.Service views over a Partition
+// piece; remote members are httpapi clients whose Region is the
+// upstream's Bounds().
+//
+// Members must be distance-ranked candidate sources: QueryLR returns
+// their K() nearest tuples by (dist, ID) with locations. The Router
+// applies the logical rank/prominence selection itself, which is what
+// keeps federated answers bit-identical to a single service — a
+// member that pre-applies its own prominence re-ranking (or hides
+// locations) cannot be federated exactly.
+type Shard struct {
+	Querier lbs.Querier
+	Region  geom.Rect
+}
+
+// ShardStat is the per-member slice of a Router's stats surface.
+type ShardStat struct {
+	// Region is the member's coverage rectangle.
+	Region geom.Rect
+	// Queries is the member's lifetime physical query count.
+	Queries int64
+}
+
+// RouterStats snapshots a Router's cost accounting: logical queries
+// charged against the federated budget, total physical subqueries
+// fanned out, and the per-shard breakdown.
+type RouterStats struct {
+	// Logical is the number of client-visible queries answered (the
+	// paper's cost metric; what the budget meters).
+	Logical int64
+	// Upstream is the number of physical subqueries the router issued
+	// across all shards; Upstream/Logical is the effective fan-out.
+	Upstream int64
+	// Shards is the per-member breakdown, in shard order.
+	Shards []ShardStat
+}
+
+// Router federates N shards behind the lbs.Querier interface using
+// two-phase scatter-gather:
+//
+//  1. The shard owning the query point (nearest region) is asked for
+//     its candidates; when it returns a full candidate set, the
+//     distance of its last candidate bounds how far a better candidate
+//     can hide in another shard.
+//  2. The query fans out only to shards whose regions intersect the
+//     closed ball of that radius; all candidates merge by (dist, ID) —
+//     the service ordering contract — and the logical rank/prominence
+//     selection is re-applied over the merged set.
+//
+// Every tuple within the bound lies in some contacted shard (regions
+// cover their tuples' effective locations), and per-shard candidate
+// lists are (dist, ID)-prefixes of the union's, so the merged answer
+// is bit-identical to a single lbs.Service over the union database —
+// including out-of-bounds query points, which route to the nearest
+// region and are answered from the full federation like any other.
+//
+// The Router owns the logical cost model: its Budget and Limiter meter
+// client-visible queries (one unit per answered point, however wide
+// the fan-out), and QueryCount reports them. Shard members keep their
+// own physical counters, aggregated by Stats. Shards must hold
+// pairwise-disjoint tuple sets (Partition guarantees it; remote
+// deployments must not register overlapping upstreams). A Router is
+// safe for concurrent use whenever its members are.
+type Router struct {
+	shards []Shard
+	opts   lbs.Options
+	want   int // distance candidates needed per logical query
+	bounds geom.Rect
+
+	queries atomic.Int64
+	fanout  atomic.Int64
+}
+
+var _ lbs.Querier = (*Router)(nil)
+
+// candidateK returns how many distance candidates one logical query
+// needs from a shard: K for distance rank, the K×overfetch candidate
+// pool for prominence re-ranking.
+func candidateK(norm lbs.Options) int {
+	if norm.Rank == lbs.RankByProminence {
+		return norm.K * norm.ProminenceOverfetch
+	}
+	return norm.K
+}
+
+// NewRouter federates shards behind the logical service options: K,
+// MaxRadius, Budget, Limiter and the rank/prominence fields describe
+// the service the federation presents, exactly as lbs.Options does for
+// NewService. Every member must answer at least the router's candidate
+// count (K, or K×overfetch under prominence rank).
+func NewRouter(shards []Shard, opts lbs.Options) (*Router, error) {
+	norm, err := opts.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: NewRouter needs at least one shard")
+	}
+	want := candidateK(norm)
+	bounds := shards[0].Region
+	for i, sh := range shards {
+		if sh.Querier == nil {
+			return nil, fmt.Errorf("shard: shard %d has no querier", i)
+		}
+		if k := sh.Querier.K(); k < want {
+			return nil, fmt.Errorf("shard: shard %d answers k=%d, federation needs ≥ %d candidates", i, k, want)
+		}
+		bounds.Min.X = math.Min(bounds.Min.X, sh.Region.Min.X)
+		bounds.Min.Y = math.Min(bounds.Min.Y, sh.Region.Min.Y)
+		bounds.Max.X = math.Max(bounds.Max.X, sh.Region.Max.X)
+		bounds.Max.Y = math.Max(bounds.Max.Y, sh.Region.Max.Y)
+	}
+	return &Router{shards: shards, opts: norm, want: want, bounds: bounds}, nil
+}
+
+// Bounds implements lbs.Querier: the union of the shard regions.
+func (r *Router) Bounds() geom.Rect { return r.bounds }
+
+// K implements lbs.Querier (the logical top-k).
+func (r *Router) K() int { return r.opts.K }
+
+// NumShards returns the federation width.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// QueryCount implements lbs.Querier: logical queries answered.
+func (r *Router) QueryCount() int64 { return r.queries.Load() }
+
+// RemainingBudget returns how many logical queries may still be
+// issued, or −1 for unlimited.
+func (r *Router) RemainingBudget() int64 {
+	if r.opts.Budget <= 0 {
+		return -1
+	}
+	rem := r.opts.Budget - r.queries.Load()
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// VirtualWaited returns the total virtual time the router's rate
+// limiter imposed (0 without a Limiter).
+func (r *Router) VirtualWaited() time.Duration {
+	if r.opts.Limiter == nil {
+		return 0
+	}
+	return r.opts.Limiter.VirtualElapsed()
+}
+
+// Stats snapshots the router's cost accounting.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Logical:  r.queries.Load(),
+		Upstream: r.fanout.Load(),
+		Shards:   make([]ShardStat, len(r.shards)),
+	}
+	for i, sh := range r.shards {
+		st.Shards[i] = ShardStat{Region: sh.Region, Queries: sh.Querier.QueryCount()}
+	}
+	return st
+}
+
+// chargeN mirrors Service.chargeN over the router's logical budget:
+// CAS reservation of up to n units plus one limiter round-trip for the
+// granted amount. A partial or empty grant reports ErrBudgetExhausted.
+func (r *Router) chargeN(ctx context.Context, n int64) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	granted := n
+	if r.opts.Budget > 0 {
+		for {
+			cur := r.queries.Load()
+			rem := r.opts.Budget - cur
+			if rem <= 0 {
+				return 0, lbs.ErrBudgetExhausted
+			}
+			granted = n
+			if rem < n {
+				granted = rem
+			}
+			if r.queries.CompareAndSwap(cur, cur+granted) {
+				break
+			}
+		}
+	} else {
+		r.queries.Add(n)
+	}
+	if r.opts.Limiter != nil {
+		r.opts.Limiter.TakeN(int(granted))
+	}
+	if granted < n {
+		return granted, lbs.ErrBudgetExhausted
+	}
+	return granted, nil
+}
+
+// refund hands back logical units whose queries a shard failure left
+// unanswered, so transient upstream errors never leak federated
+// budget (virtual limiter time, already advanced, is not unwound).
+func (r *Router) refund(n int64) {
+	if n > 0 {
+		r.queries.Add(-n)
+	}
+}
+
+// minDist returns the distance from q to the nearest point of rect,
+// computed with the same Dist2+Sqrt pipeline the k-d tree ranks with:
+// correctly-rounded float monotonicity then guarantees that a shard is
+// pruned only if every tuple inside its region is strictly farther
+// than the bound.
+func minDist(q geom.Point, rect geom.Rect) float64 {
+	return math.Sqrt(q.Dist2(rect.Clamp(q)))
+}
+
+// rankDist is the merge key: the distance from q to a candidate's
+// effective location, computed exactly as the k-d tree computes it
+// (Sqrt of Dist2, not Hypot), so merged ordering reproduces the
+// per-shard — and therefore the union service's — ordering bit for
+// bit. (LRRecord.Dist is the Hypot-computed wire distance; the two can
+// differ in the last ulp, which is why it is not the merge key.)
+func rankDist(q geom.Point, rec *lbs.LRRecord) float64 {
+	return math.Sqrt(q.Dist2(rec.Loc))
+}
+
+// ownerOf picks the phase-one shard for a query point: the shard whose
+// region is nearest (first wins ties), which is the containing shard
+// for in-bounds points and the closest region for points outside every
+// region. Ownership is a routing heuristic only — any choice yields
+// the same merged answer — but it must be total so federation defines
+// QueryLR for every point on the plane, like a single service does.
+func (r *Router) ownerOf(q geom.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for i, sh := range r.shards {
+		d := q.Dist2(sh.Region.Clamp(q))
+		if d < bestD {
+			best, bestD = i, d
+			if d == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// boundFor derives the phase-two fan-out radius from the owner's
+// answer: the distance of the owner's want-th candidate when the owner
+// answered in full (no better candidate can hide farther away), else
+// the coverage radius, else unbounded.
+func (r *Router) boundFor(q geom.Point, ownerRecs []lbs.LRRecord) float64 {
+	bound := math.Inf(1)
+	if r.opts.MaxRadius > 0 {
+		bound = r.opts.MaxRadius
+	}
+	if len(ownerRecs) >= r.want {
+		if d := rankDist(q, &ownerRecs[r.want-1]); d < bound {
+			bound = d
+		}
+	}
+	return bound
+}
+
+// cand is one merge candidate: the shard record plus its rank key.
+type cand struct {
+	rec  lbs.LRRecord
+	dist float64 // rankDist merge key
+}
+
+// appendCands converts one shard answer into merge candidates.
+func appendCands(cands []cand, q geom.Point, recs []lbs.LRRecord) []cand {
+	for i := range recs {
+		cands = append(cands, cand{rec: recs[i], dist: rankDist(q, &recs[i])})
+	}
+	return cands
+}
+
+// selectTop applies the logical selection over merged candidates:
+// order by (dist, ID), then either keep the top K (distance rank) or
+// re-score the K×overfetch candidate pool by prominence and keep the
+// top K by (score, ID) — exactly the selection rawQueryInto applies
+// inside a single service.
+func (r *Router) selectTop(cands []cand) []lbs.LRRecord {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].rec.ID < cands[b].rec.ID
+	})
+	if len(cands) > r.want {
+		cands = cands[:r.want]
+	}
+	if r.opts.Rank == lbs.RankByProminence {
+		type scored struct {
+			i     int
+			id    int64
+			score float64
+		}
+		ss := make([]scored, len(cands))
+		for i := range cands {
+			var attr float64
+			if cands[i].rec.Attrs != nil {
+				attr = cands[i].rec.Attrs[r.opts.ProminenceAttr]
+			}
+			ss[i] = scored{i: i, id: cands[i].rec.ID, score: cands[i].dist - r.opts.ProminenceWeight*attr}
+		}
+		sort.Slice(ss, func(a, b int) bool {
+			if ss[a].score != ss[b].score {
+				return ss[a].score < ss[b].score
+			}
+			return ss[a].id < ss[b].id
+		})
+		n := len(ss)
+		if n > r.opts.K {
+			n = r.opts.K
+		}
+		out := make([]lbs.LRRecord, n)
+		for i := 0; i < n; i++ {
+			out[i] = cands[ss[i].i].rec
+		}
+		return out
+	}
+	n := len(cands)
+	if n > r.opts.K {
+		n = r.opts.K
+	}
+	out := make([]lbs.LRRecord, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].rec
+	}
+	return out
+}
+
+// fanOut runs one subquery per target shard — concurrently when there
+// is more than one target, since remote members each pay a network
+// round-trip and the merge is completion-order independent (selectTop
+// imposes the total (dist, ID) order). Results come back in target
+// order; the first error wins. Members are required to be safe for
+// concurrent use (the lbs.Querier contract).
+func fanOut[T any](targets []int, f func(si int) (T, error)) ([]T, error) {
+	out := make([]T, len(targets))
+	switch len(targets) {
+	case 0:
+		return out, nil
+	case 1:
+		v, err := f(targets[0])
+		if err != nil {
+			return nil, err
+		}
+		out[0] = v
+		return out, nil
+	}
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for j, si := range targets {
+		wg.Add(1)
+		go func(j, si int) {
+			defer wg.Done()
+			out[j], errs[j] = f(si)
+		}(j, si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// scatterOne runs the two-phase scatter-gather for one (already
+// charged) logical query.
+func (r *Router) scatterOne(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
+	owner := r.ownerOf(q)
+	ownerRecs, err := r.shards[owner].Querier.QueryLR(ctx, q, filter)
+	r.fanout.Add(1)
+	if err != nil {
+		return nil, err
+	}
+	bound := r.boundFor(q, ownerRecs)
+	cands := appendCands(nil, q, ownerRecs)
+	var targets []int
+	for i := range r.shards {
+		if i == owner || minDist(q, r.shards[i].Region) > bound {
+			continue
+		}
+		targets = append(targets, i)
+	}
+	answers, err := fanOut(targets, func(si int) ([]lbs.LRRecord, error) {
+		recs, err := r.shards[si].Querier.QueryLR(ctx, q, filter)
+		r.fanout.Add(1)
+		return recs, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, recs := range answers {
+		cands = appendCands(cands, q, recs)
+	}
+	return r.selectTop(cands), nil
+}
+
+// scatterBatch is scatterOne over m points with per-shard batching:
+// phase-one queries group by owning shard (one batch per shard), and
+// phase-two fan-outs group the (point, shard) pairs the ball test
+// selects into one batch per shard — so a federated batch costs at
+// most 2·N shard round-trips however many points it carries.
+func (r *Router) scatterBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LRRecord, error) {
+	owners := make([]int, len(pts))
+	group := make([][]int, len(r.shards))
+	for i, q := range pts {
+		o := r.ownerOf(q)
+		owners[i] = o
+		group[o] = append(group[o], i)
+	}
+	cands := make([][]cand, len(pts))
+	phase1 := make([][]lbs.LRRecord, len(pts))
+	if err := r.shardBatches(ctx, pts, filter, group, func(pos int, recs []lbs.LRRecord) {
+		phase1[pos] = recs
+		cands[pos] = appendCands(cands[pos], pts[pos], recs)
+	}); err != nil {
+		return nil, err
+	}
+	need := make([][]int, len(r.shards))
+	for i, q := range pts {
+		bound := r.boundFor(q, phase1[i])
+		for si := range r.shards {
+			if si == owners[i] || minDist(q, r.shards[si].Region) > bound {
+				continue
+			}
+			need[si] = append(need[si], i)
+		}
+	}
+	if err := r.shardBatches(ctx, pts, filter, need, func(pos int, recs []lbs.LRRecord) {
+		cands[pos] = appendCands(cands[pos], pts[pos], recs)
+	}); err != nil {
+		return nil, err
+	}
+	out := make([][]lbs.LRRecord, len(pts))
+	for i := range pts {
+		out[i] = r.selectTop(cands[i])
+	}
+	return out, nil
+}
+
+// shardBatches issues one batch per involved shard — concurrently
+// across shards via fanOut — for the grouped point positions, then
+// hands every answer back through sink (sequentially, so sinks need
+// no locking).
+func (r *Router) shardBatches(ctx context.Context, pts []geom.Point, filter lbs.Filter,
+	group [][]int, sink func(pos int, recs []lbs.LRRecord)) error {
+
+	var targets []int
+	for si, positions := range group {
+		if len(positions) > 0 {
+			targets = append(targets, si)
+		}
+	}
+	answers, err := fanOut(targets, func(si int) ([][]lbs.LRRecord, error) {
+		positions := group[si]
+		sub := make([]geom.Point, len(positions))
+		for j, p := range positions {
+			sub[j] = pts[p]
+		}
+		a, err := r.shards[si].Querier.QueryLRBatch(ctx, sub, filter)
+		r.fanout.Add(int64(len(sub)))
+		return a, err
+	})
+	if err != nil {
+		return err
+	}
+	for t, si := range targets {
+		for j, p := range group[si] {
+			sink(p, answers[t][j])
+		}
+	}
+	return nil
+}
+
+// QueryLR implements lbs.Querier: one logical unit of budget, however
+// wide the physical fan-out. A shard failure refunds the unit.
+func (r *Router) QueryLR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
+	if _, err := r.chargeN(ctx, 1); err != nil {
+		return nil, err
+	}
+	recs, err := r.scatterOne(ctx, q, filter)
+	if err != nil {
+		r.refund(1)
+		return nil, err
+	}
+	return recs, nil
+}
+
+// QueryLNR implements lbs.Querier: the federated LNR answer is the LR
+// answer with locations withheld at the router — federation members
+// must expose locations (the router is service-side infrastructure;
+// the LNR restriction applies to the federation's public interface,
+// not between its shards).
+func (r *Router) QueryLNR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error) {
+	recs, err := r.QueryLR(ctx, q, filter)
+	if err != nil {
+		return nil, err
+	}
+	return stripLocations(recs), nil
+}
+
+// stripLocations converts an LR answer to its rank-only view.
+func stripLocations(recs []lbs.LRRecord) []lbs.LNRRecord {
+	out := make([]lbs.LNRRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = lbs.LNRRecord{
+			ID:       rec.ID,
+			Name:     rec.Name,
+			Category: rec.Category,
+			Attrs:    rec.Attrs,
+			Tags:     rec.Tags,
+		}
+	}
+	return out
+}
+
+// QueryLRBatch implements lbs.Querier with Service batch semantics:
+// one atomic logical reservation, index-aligned answers, nil entries
+// past a mid-batch budget death alongside ErrBudgetExhausted. A shard
+// failure fails the whole batch and refunds every reserved unit.
+func (r *Router) QueryLRBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LRRecord, error) {
+	out := make([][]lbs.LRRecord, len(pts))
+	granted, gerr := r.chargeN(ctx, int64(len(pts)))
+	if granted == 0 {
+		return out, gerr
+	}
+	answers, err := r.scatterBatch(ctx, pts[:granted], filter)
+	if err != nil {
+		r.refund(granted)
+		return make([][]lbs.LRRecord, len(pts)), err
+	}
+	copy(out, answers)
+	return out, gerr
+}
+
+// QueryLNRBatch is the rank-only twin of QueryLRBatch.
+func (r *Router) QueryLNRBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LNRRecord, error) {
+	lr, err := r.QueryLRBatch(ctx, pts, filter)
+	out := make([][]lbs.LNRRecord, len(lr))
+	for i, recs := range lr {
+		if recs != nil {
+			out[i] = stripLocations(recs)
+		}
+	}
+	return out, err
+}

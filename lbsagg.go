@@ -115,6 +115,34 @@
 //     fixed; otherwise they bypass it, so a cache shared by
 //     differently filtered callers can never replay a wrong answer.
 //
+// # Scaling out: sharded federation
+//
+// One simulator (or one upstream) eventually saturates; the federation
+// layer scales the oracle horizontally while keeping every estimator,
+// cache, scope and job unchanged:
+//
+//   - PartitionDatabase splits a database into N disjoint spatial
+//     shards by recursive longest-axis median splits; shard regions
+//     tile the bounds and carry balanced tuple counts.
+//   - NewShardedService builds the one-call composite: N in-process
+//     shard services behind a ShardRouter.
+//   - NewShardRouter federates arbitrary members — in-process services
+//     or remote HTTP clients (the lbsserve -upstream deployment) —
+//     each declared as a Shard{Querier, Region}.
+//
+// A ShardRouter implements Querier via two-phase scatter-gather: the
+// shard owning the query point answers first, its k-th-neighbor
+// distance bounds the ball a better candidate could hide in, only
+// shards intersecting that ball are fanned out to, and the merged
+// candidates are re-ranked by the service ordering contract
+// (distance ties break on tuple ID). Federated answers are
+// bit-identical to a single Service over the union database — pinned
+// by property tests — so estimates, costs and seeds reproduce exactly
+// across 1, 2, 4, 8, ... shards. The router owns the logical cost
+// model (budget, rate limiter, QueryCount = client-visible queries);
+// per-shard physical counters aggregate through its Stats(), which
+// GET /v1/stats exposes as the federation section.
+//
 // # Bring your own service
 //
 // The estimators run against the Oracle interface, which this library
@@ -191,6 +219,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/lbs"
 	"repro/internal/sampling"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -283,6 +312,42 @@ type (
 // recorded answers without consuming budget.
 func NewCachedOracle(inner Querier, opts CacheOptions) *CachedOracle {
 	return lbs.NewCachedOracle(inner, opts)
+}
+
+// Federation types (horizontal scale-out; see the package overview).
+type (
+	// Shard is one federation member: a querier plus the region whose
+	// tuples it owns.
+	Shard = shard.Shard
+	// ShardRouter federates shards behind the Querier interface with
+	// two-phase scatter-gather; answers are bit-identical to a single
+	// Service over the union database.
+	ShardRouter = shard.Router
+	// ShardRouterStats snapshots federation cost accounting: logical
+	// vs upstream query counts and the per-shard breakdown.
+	ShardRouterStats = shard.RouterStats
+	// ShardStat is one member's slice of ShardRouterStats.
+	ShardStat = shard.ShardStat
+)
+
+// PartitionDatabase splits a database into n disjoint spatial shard
+// databases (recursive longest-axis median splits; regions tile the
+// bounds, effective locations carry over verbatim).
+func PartitionDatabase(db *Database, n int) []*Database { return shard.Partition(db, n) }
+
+// NewShardedService partitions db into n in-process shard services
+// behind a ShardRouter configured with the given logical options —
+// drop-in for NewService(db, opts) at any shard count.
+func NewShardedService(db *Database, opts ServiceOptions, n int) (*ShardRouter, error) {
+	return shard.NewLocal(db, opts, n)
+}
+
+// NewShardRouter federates explicit members (in-process services or
+// remote HTTPClients over disjoint upstreams). Members must answer
+// distance-ranked LR queries with k of at least opts.K (×overfetch
+// under prominence ranking).
+func NewShardRouter(shards []Shard, opts ServiceOptions) (*ShardRouter, error) {
+	return shard.NewRouter(shards, opts)
 }
 
 // HTTPSelection is the declarative server-side filter of the HTTP

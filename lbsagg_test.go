@@ -82,3 +82,45 @@ func TestFacadeFilters(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeFederation covers the scale-out surface: partitioning,
+// the one-call sharded service, and estimator runs over a router.
+func TestFacadeFederation(t *testing.T) {
+	sc := lbsagg.USASchools(200, 3)
+	parts := lbsagg.PartitionDatabase(sc.DB, 4)
+	if len(parts) != 4 {
+		t.Fatalf("partitions: %d", len(parts))
+	}
+	router, err := lbsagg.NewShardedService(sc.DB, lbsagg.ServiceOptions{K: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := lbsagg.NewService(sc.DB, lbsagg.ServiceOptions{K: 5})
+	ctx := context.Background()
+	q := sc.DB.Bounds().Center()
+	want, _ := single.QueryLR(ctx, q, nil)
+	got, err := router.QueryLR(ctx, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) || want[0].ID != got[0].ID {
+		t.Fatalf("federated answer diverges: %+v vs %+v", want, got)
+	}
+	// An estimator runs over the router unchanged.
+	agg := lbsagg.NewLRAggregator(router, lbsagg.DefaultLROptions(42))
+	plan, err := lbsagg.CompilePlan([]lbsagg.AggSpec{lbsagg.CountSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := agg.Run(ctx, plan.Aggs, lbsagg.WithMaxSamples(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := plan.Finish(phys)
+	if len(res) != 1 || res[0].Samples != 5 {
+		t.Fatalf("federated estimator run: %+v", res)
+	}
+	if st := router.Stats(); st.Logical == 0 || len(st.Shards) != 4 {
+		t.Fatalf("router stats: %+v", st)
+	}
+}
