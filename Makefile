@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json
+.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json
 
 all: fmt vet build test
 
@@ -68,6 +68,22 @@ bench-fed-json:
 	$(GO) test -run '^$$' -bench '$(FED_BENCH)' -benchmem ./internal/shard > bench_fed.out
 	$(GO) run ./cmd/benchjson -o BENCH_federation.json < bench_fed.out
 	@rm -f bench_fed.out
+
+# The live-database benchmark suite: the immutable Service read
+# baseline, the live read path at 0%/1%/10% churn (mutations
+# interleaved per query), and raw mutation throughput. The Churn0 row
+# measures the clean-overlay fast path against the immutable baseline.
+LIVE_BENCH = BenchmarkImmutableQueryLR|BenchmarkLiveQueryLRChurn|BenchmarkLiveApply
+
+bench-live:
+	$(GO) test -run '^$$' -bench '$(LIVE_BENCH)' -benchmem ./internal/live
+
+# bench-live-json records the live suite in BENCH_live.json (same
+# baseline-preserving layout as bench-json; self-primes on first run).
+bench-live-json:
+	$(GO) test -run '^$$' -bench '$(LIVE_BENCH)' -benchmem ./internal/live > bench_live.out
+	$(GO) run ./cmd/benchjson -o BENCH_live.json < bench_live.out
+	@rm -f bench_live.out
 
 # bench-smoke compiles and runs every benchmark once — the CI guard
 # that keeps bench code from rotting.

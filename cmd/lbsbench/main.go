@@ -96,7 +96,7 @@ func runRemote(ctx context.Context, baseURL string, spec jobs.Spec, aggsJSON str
 
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "experiment id: fig11..fig21, table1, or all")
+		exp    = flag.String("experiment", "all", "experiment id: fig11..fig21, table1, live, or all")
 		scale  = flag.String("scale", "quick", `scale preset: "quick" or "paper"`)
 		n      = flag.Int("n", 0, "dataset size override")
 		runs   = flag.Int("runs", 0, "repetitions override")
@@ -186,6 +186,7 @@ func main() {
 		"fig19": experiments.Fig19,
 		"fig20": experiments.Fig20,
 		"fig21": experiments.Fig21,
+		"live":  experiments.LiveChurn,
 	}
 
 	ids := []string{*exp}
@@ -233,7 +234,7 @@ func main() {
 				fail(id, err)
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig11..fig21, table1, mse, all)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig11..fig21, table1, mse, live, all)\n", id)
 			os.Exit(2)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))

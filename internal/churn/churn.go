@@ -1,0 +1,121 @@
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/live"
+)
+
+// Config parameterizes a deterministic mutation stream over a
+// database — the update-heavy workload of a production LBS, where the
+// hidden population moves, joins and leaves continuously while
+// estimators sample it.
+type Config struct {
+	// InsertFrac, DeleteFrac and MoveFrac weight the op mix; they are
+	// normalized over their sum. All zero means the default mix
+	// (20% inserts, 20% deletes, 60% moves — a user population that
+	// mostly moves around).
+	InsertFrac, DeleteFrac, MoveFrac float64
+	// MoveSigma is the standard deviation of a move step as a fraction
+	// of the bounds diagonal (default 0.02). Destinations clamp to the
+	// bounds, so moved tuples stay inside every shard tiling.
+	MoveSigma float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.InsertFrac == 0 && c.DeleteFrac == 0 && c.MoveFrac == 0 {
+		c.InsertFrac, c.DeleteFrac, c.MoveFrac = 0.2, 0.2, 0.6
+	}
+	if c.MoveSigma == 0 {
+		c.MoveSigma = 0.02
+	}
+}
+
+// Churn generates n mutation ops over db's population,
+// deterministically from cfg.Seed. The generator tracks the evolving
+// ID set — deletes and moves always target a currently live ID,
+// inserts always use a fresh ID above every existing one — so every
+// op in the stream applies cleanly in order against a live database
+// seeded with db. Inserted tuples clone a random template tuple's
+// attributes (same Name/Category/Attrs/Tags shape as the scenario)
+// at a uniform location in bounds.
+func Ops(db *lbs.Database, cfg Config, n int) []live.Op {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bounds := db.Bounds()
+	sigma := cfg.MoveSigma * bounds.Diagonal()
+
+	ids := make([]int64, db.Len())
+	loc := make(map[int64]geom.Point, db.Len())
+	var nextID int64 = 1
+	for i := 0; i < db.Len(); i++ {
+		id := db.Tuple(i).ID
+		ids[i] = id
+		loc[id] = db.EffectiveLoc(i)
+		if id >= nextID {
+			nextID = id + 1
+		}
+	}
+	if db.Len() == 0 {
+		panic("churn: Ops needs a non-empty database")
+	}
+
+	total := cfg.InsertFrac + cfg.DeleteFrac + cfg.MoveFrac
+	pIns := cfg.InsertFrac / total
+	pDel := cfg.DeleteFrac / total
+
+	uniform := func() geom.Point {
+		return geom.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height(),
+		)
+	}
+	ops := make([]live.Op, 0, n)
+	for len(ops) < n {
+		r := rng.Float64()
+		switch {
+		case r < pIns || len(ids) == 0:
+			tmpl := db.Tuple(rng.Intn(db.Len()))
+			t := lbs.Tuple{
+				ID:       nextID,
+				Loc:      uniform(),
+				Name:     fmt.Sprintf("%s-%d", tmpl.Name, nextID),
+				Category: tmpl.Category,
+				Attrs:    tmpl.Attrs,
+				Tags:     tmpl.Tags,
+			}
+			nextID++
+			ids = append(ids, t.ID)
+			loc[t.ID] = t.Loc
+			ops = append(ops, live.Op{Kind: live.OpInsert, Tuple: t})
+		case r < pIns+pDel:
+			i := rng.Intn(len(ids))
+			id := ids[i]
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			delete(loc, id)
+			ops = append(ops, live.Op{Kind: live.OpDelete, ID: id})
+		default:
+			id := ids[rng.Intn(len(ids))]
+			p := loc[id]
+			dest := bounds.Clamp(geom.Pt(
+				p.X+rng.NormFloat64()*sigma,
+				p.Y+rng.NormFloat64()*sigma,
+			))
+			// Degenerate bounds could clamp onto NaN; keep the plain
+			// gaussian step finite regardless.
+			if math.IsNaN(dest.X) || math.IsNaN(dest.Y) {
+				dest = p
+			}
+			loc[id] = dest
+			ops = append(ops, live.Op{Kind: live.OpMove, ID: id, Loc: dest})
+		}
+	}
+	return ops
+}

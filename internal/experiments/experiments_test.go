@@ -245,3 +245,25 @@ func TestMSEDecomposition(t *testing.T) {
 		}
 	}
 }
+
+// TestLiveChurn smoke-tests the churn experiment: well-formed figure,
+// finite errors, and exactly zero population drift at zero churn (the
+// live fast path never mutates without ops).
+func TestLiveChurn(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Budget = 1200
+	fig, err := LiveChurn(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+	errs, drift := fig.Series[0], fig.Series[1]
+	for i, y := range errs.Y {
+		if math.IsNaN(y) || math.IsInf(y, 0) || y < 0 {
+			t.Errorf("rate %g: error %g", errs.X[i], y)
+		}
+	}
+	if drift.Y[0] != 0 {
+		t.Errorf("population drift at zero churn: %g", drift.Y[0])
+	}
+}

@@ -11,6 +11,8 @@
 //	POST /v1/query/lr:batch   {points:[{x,y},...][,name][,category]}
 //	  → {answers:[{results:[...]}|null, ...][, exhausted]}
 //	POST /v1/query/lnr:batch  (same shape, rank-only results)
+//	POST /v1/tuples:stream    NDJSON mutation ops → NDJSON per-op acks
+//	                          (live backends only; see ingest.go)
 //
 // A batch answers up to maxBatchPoints locations in one HTTP request
 // and one server-side budget reservation; answers are index-aligned
@@ -41,6 +43,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/jobs"
 	"repro/internal/lbs"
+	"repro/internal/live"
 )
 
 // Selection is the declarative server-side filter of the wire
@@ -150,9 +153,10 @@ var ErrPerCallFilter = errors.New("httpapi: per-call filters unsupported; config
 // the server runs estimation jobs (see handleEstimate and the jobs
 // package) and reports live service stats (/v1/stats).
 type Server struct {
-	svc  lbs.Querier
-	jobs *jobs.Manager
-	mux  *http.ServeMux
+	svc     lbs.Querier
+	mutator live.Mutator
+	jobs    *jobs.Manager
+	mux     *http.ServeMux
 }
 
 // ServerOptions configures the optional subsystems of a Server.
@@ -160,6 +164,12 @@ type ServerOptions struct {
 	// Jobs configures the estimation-job manager (retention cap,
 	// default per-job query budget).
 	Jobs jobs.ManagerOptions
+	// Mutator, when non-nil, enables the streaming mutation endpoint
+	// (POST /v1/tuples:stream) against a live backend. It should be the
+	// live database (or cluster) underlying svc, so queries observe the
+	// applied mutations. Nil means an immutable backend: the endpoint
+	// answers 501.
+	Mutator live.Mutator
 }
 
 // NewServer wraps a service backend with default options.
@@ -168,15 +178,17 @@ func NewServer(svc lbs.Querier) *Server { return NewServerWith(svc, ServerOption
 // NewServerWith wraps a service backend.
 func NewServerWith(svc lbs.Querier, opts ServerOptions) *Server {
 	s := &Server{
-		svc:  svc,
-		jobs: jobs.NewManager(svc, opts.Jobs),
-		mux:  http.NewServeMux(),
+		svc:     svc,
+		mutator: opts.Mutator,
+		jobs:    jobs.NewManager(svc, opts.Jobs),
+		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/meta", s.handleMeta)
 	s.mux.HandleFunc("/v1/lr", s.handleLR)
 	s.mux.HandleFunc("/v1/lnr", s.handleLNR)
 	s.mux.HandleFunc("/v1/query/lr:batch", s.handleLRBatch)
 	s.mux.HandleFunc("/v1/query/lnr:batch", s.handleLNRBatch)
+	s.mux.HandleFunc("POST /v1/tuples:stream", s.handleTupleStream)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/lbs"
+	"repro/internal/live"
 	"repro/internal/shard"
 )
 
@@ -119,7 +120,34 @@ type cacheStatsView struct {
 	Misses    int64 `json:"misses"`
 	Bypasses  int64 `json:"bypasses"`
 	Evictions int64 `json:"evictions"`
-	Entries   int64 `json:"entries"`
+	// Invalidations counts entries dropped by epoch-based region
+	// invalidation (mutations dirtying cached answers), as opposed to
+	// capacity evictions.
+	Invalidations int64 `json:"invalidations"`
+	Entries       int64 `json:"entries"`
+}
+
+// liveStatsView is the wire form of live.Stats.
+type liveStatsView struct {
+	Epoch       uint64 `json:"epoch"`
+	BaseLen     int    `json:"base_len"`
+	DeltaLen    int    `json:"delta_len"`
+	Tombstones  int    `json:"tombstones"`
+	Inserts     int64  `json:"inserts"`
+	Deletes     int64  `json:"deletes"`
+	Moves       int64  `json:"moves"`
+	Rejected    int64  `json:"rejected"`
+	Compactions int64  `json:"compactions"`
+	Compacting  bool   `json:"compacting"`
+}
+
+func liveViewOf(st live.Stats) *liveStatsView {
+	return &liveStatsView{
+		Epoch: st.Epoch, BaseLen: st.BaseLen, DeltaLen: st.DeltaLen,
+		Tombstones: st.Tombstones, Inserts: st.Inserts, Deletes: st.Deletes,
+		Moves: st.Moves, Rejected: st.Rejected,
+		Compactions: st.Compactions, Compacting: st.Compacting,
+	}
 }
 
 // shardStatView is the wire form of one federation member's stats.
@@ -154,6 +182,9 @@ type statsResponse struct {
 	// Federation reports scatter-gather and per-shard counters when
 	// the backend chain ends in a shard.Router.
 	Federation *federationStatsView `json:"federation,omitempty"`
+	// Live reports mutation counters when the backend chain (or the
+	// configured Mutator) is a live database or cluster.
+	Live *liveStatsView `json:"live,omitempty"`
 	// Jobs counts retained estimation jobs by state.
 	Jobs map[jobs.State]int `json:"jobs"`
 }
@@ -180,7 +211,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				st := cs.Stats()
 				resp.Cache = &cacheStatsView{
 					Hits: st.Hits, Misses: st.Misses, Bypasses: st.Bypasses,
-					Evictions: st.Evictions, Entries: st.Entries,
+					Evictions: st.Evictions, Invalidations: st.Invalidations,
+					Entries: st.Entries,
 				}
 			}
 		}
@@ -198,6 +230,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				resp.Federation = fv
 			}
 		}
+		if resp.Live == nil {
+			if ls, ok := q.(interface{ LiveStats() live.Stats }); ok {
+				resp.Live = liveViewOf(ls.LiveStats())
+			}
+		}
 		if rb, ok := q.(interface{ RemainingBudget() int64 }); ok {
 			resp.BudgetRemaining = rb.RemainingBudget()
 		}
@@ -206,6 +243,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		q = iw.Inner()
+	}
+	// A Mutator configured beside (not inside) the query chain still
+	// reports: the live backend may sit behind wrappers that do not
+	// implement lbs.Wrapper.
+	if resp.Live == nil && s.mutator != nil {
+		if ls, ok := s.mutator.(interface{ LiveStats() live.Stats }); ok {
+			resp.Live = liveViewOf(ls.LiveStats())
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -49,11 +49,12 @@ type CacheOptions struct {
 // CacheStats is a point-in-time snapshot of cache effectiveness
 // counters, for the cost accounting of experiments.
 type CacheStats struct {
-	Hits      int64 // answers replayed without touching the service
-	Misses    int64 // queries forwarded (and charged) to the service
-	Bypasses  int64 // untrusted filtered queries forwarded uncached
-	Evictions int64 // entries dropped by LRU pressure
-	Entries   int64 // entries currently resident
+	Hits          int64 // answers replayed without touching the service
+	Misses        int64 // queries forwarded (and charged) to the service
+	Bypasses      int64 // untrusted filtered queries forwarded uncached
+	Evictions     int64 // entries dropped by LRU pressure
+	Invalidations int64 // entries dropped by mutation (Invalidate/InvalidateAll)
+	Entries       int64 // entries currently resident
 }
 
 // query kinds, part of the cache key so LR and LNR answers for the
@@ -159,16 +160,17 @@ func (sh *cacheShard) len() int {
 // as immutable, exactly as they must treat the simulator's shared
 // Attrs/Tags maps.
 type CachedOracle struct {
-	inner       Querier
-	quantum     float64
-	sel         string
-	trustFilter bool
-	shards      []*cacheShard
-	shardMask   uint64
-	hits        atomic.Int64
-	misses      atomic.Int64
-	bypasses    atomic.Int64
-	evictions   atomic.Int64
+	inner         Querier
+	quantum       float64
+	sel           string
+	trustFilter   bool
+	shards        []*cacheShard
+	shardMask     uint64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	bypasses      atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
 }
 
 var _ Querier = (*CachedOracle)(nil)
@@ -258,12 +260,81 @@ func (c *CachedOracle) Stats() CacheStats {
 		entries += int64(sh.len())
 	}
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Bypasses:  c.bypasses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   entries,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Bypasses:      c.bypasses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       entries,
 	}
+}
+
+// cellRect reconstructs the region of query points that share a key:
+// the quantization cell [q·quantum, (q+1)·quantum) under a positive
+// quantum, or the single exact point keyed by its bit pattern. It is
+// the geometric footprint Invalidate tests against the dirty region.
+func (c *CachedOracle) cellRect(key cacheKey) geom.Rect {
+	if c.quantum > 0 {
+		x0 := float64(int64(key.qx)) * c.quantum
+		y0 := float64(int64(key.qy)) * c.quantum
+		return geom.Rect{
+			Min: geom.Point{X: x0, Y: y0},
+			Max: geom.Point{X: x0 + c.quantum, Y: y0 + c.quantum},
+		}
+	}
+	p := geom.Point{X: math.Float64frombits(key.qx), Y: math.Float64frombits(key.qy)}
+	return geom.Rect{Min: p, Max: p}
+}
+
+// removeIf drops every entry whose key matches pred and returns how
+// many were removed.
+func (sh *cacheShard) removeIf(pred func(cacheKey) bool) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	removed := 0
+	var next *list.Element
+	for el := sh.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		key := el.Value.(*cacheEntry).key
+		if pred(key) {
+			sh.lru.Remove(el)
+			delete(sh.items, key)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Invalidate drops every cached answer whose query cell intersects
+// region and returns how many entries were dropped. Mutation-driven
+// epoch invalidation calls this with the dirty region of a batch of
+// mutations — the bounding box of disks of the service's maximum
+// match radius around every mutated effective location — so entries
+// for queries provably unaffected by the mutation survive. An
+// infinite or universe-covering region degenerates to InvalidateAll.
+func (c *CachedOracle) Invalidate(region geom.Rect) int64 {
+	var dropped int64
+	for _, sh := range c.shards {
+		dropped += int64(sh.removeIf(func(key cacheKey) bool {
+			cell := c.cellRect(key)
+			return cell.Min.X <= region.Max.X && region.Min.X <= cell.Max.X &&
+				cell.Min.Y <= region.Max.Y && region.Min.Y <= cell.Max.Y
+		}))
+	}
+	c.invalidations.Add(dropped)
+	return dropped
+}
+
+// InvalidateAll drops every cached answer and returns how many
+// entries were dropped — the correct response to a mutation whose
+// effect radius is unbounded (no MaxRadius on the service).
+func (c *CachedOracle) InvalidateAll() int64 {
+	var dropped int64
+	for _, sh := range c.shards {
+		dropped += int64(sh.removeIf(func(cacheKey) bool { return true }))
+	}
+	c.invalidations.Add(dropped)
+	return dropped
 }
 
 // cacheable reports whether a query carrying this filter may use the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -384,5 +385,108 @@ func TestCacheStatsFormatting(t *testing.T) {
 	s := fmt.Sprintf("%+v", st)
 	if s == "" {
 		t.Fatal("empty stats rendering")
+	}
+}
+
+// TestCacheInvalidateRegion: invalidation drops exactly the entries
+// whose query cells intersect the dirty region and leaves the rest
+// replaying — the survivor count pins that mutation-driven
+// invalidation is regional, not a full flush.
+func TestCacheInvalidateRegion(t *testing.T) {
+	svc := NewService(testDB(t), Options{K: 2})
+	c := NewCachedOracle(svc, CacheOptions{Quantum: 1})
+	ctx := context.Background()
+	inside := []geom.Point{geom.Pt(1.5, 1.5), geom.Pt(2.5, 2.5)}
+	outside := []geom.Point{geom.Pt(8.5, 8.5), geom.Pt(7.5, 0.5), geom.Pt(0.5, 7.5)}
+	for _, p := range append(append([]geom.Point{}, inside...), outside...) {
+		if _, err := c.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 5 {
+		t.Fatalf("entries = %d, want 5", st.Entries)
+	}
+	dropped := c.Invalidate(geom.NewRect(geom.Pt(1, 1), geom.Pt(3, 3)))
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (only cells intersecting the region)", dropped)
+	}
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("survivors = %d, want 3", st.Entries)
+	}
+	if st.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d, want 2", st.Invalidations)
+	}
+	// Survivors still replay (no inner queries), dropped cells re-fetch.
+	before := svc.QueryCount()
+	for _, p := range outside {
+		if _, err := c.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := svc.QueryCount(); n != before {
+		t.Errorf("survivors forwarded %d queries, want 0", n-before)
+	}
+	for _, p := range inside {
+		if _, err := c.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := svc.QueryCount(); n != before+int64(len(inside)) {
+		t.Errorf("dropped cells forwarded %d queries, want %d", n-before, len(inside))
+	}
+}
+
+// TestCacheInvalidateExactKeys: with Quantum 0 the cell is the exact
+// query point, so a point region invalidates exactly that point's
+// entries (both kinds) and nothing else.
+func TestCacheInvalidateExactKeys(t *testing.T) {
+	svc := NewService(testDB(t), Options{K: 2})
+	c := NewCachedOracle(svc, CacheOptions{})
+	ctx := context.Background()
+	p, q := geom.Pt(1, 1), geom.Pt(9, 9)
+	if _, err := c.QueryLR(ctx, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryLNR(ctx, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryLR(ctx, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := c.Invalidate(geom.Rect{Min: p, Max: p}); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (LR and LNR entries for p)", dropped)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("survivors = %d, want 1", st.Entries)
+	}
+}
+
+// TestCacheInvalidateAll flushes everything and counts it.
+func TestCacheInvalidateAll(t *testing.T) {
+	svc := NewService(testDB(t), Options{K: 2})
+	c := NewCachedOracle(svc, CacheOptions{})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := c.QueryLR(ctx, geom.Pt(float64(i)+0.5, 5), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dropped := c.InvalidateAll(); dropped != 4 {
+		t.Fatalf("dropped = %d, want 4", dropped)
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Invalidations != 4 {
+		t.Fatalf("stats after flush = %+v", st)
+	}
+	// An infinite dirty region behaves identically.
+	for i := 0; i < 4; i++ {
+		if _, err := c.QueryLR(ctx, geom.Pt(float64(i)+0.5, 5), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inf := math.Inf(1)
+	if dropped := c.Invalidate(geom.Rect{Min: geom.Pt(-inf, -inf), Max: geom.Pt(inf, inf)}); dropped != 4 {
+		t.Fatalf("infinite region dropped = %d, want 4", dropped)
 	}
 }

@@ -54,7 +54,6 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -103,6 +102,19 @@ func (t *Tuple) Tag(name string) string {
 // Database is an immutable collection of tuples within a bounding box,
 // indexed for kNN search on the tuples' effective (possibly
 // obfuscated) locations.
+//
+// Immutability contract: a Database never changes after its
+// constructor returns. No method mutates tuples, effective locations
+// or the index; callers must treat the Tuple pointers (and their
+// shared Attrs/Tags maps) handed out by Tuple/ByID and by query
+// answers as read-only. Every layer of the system leans on this —
+// Service pools scratch around the index without locking, CachedOracle
+// replays answer records by reference, shard.Partition hands effective
+// locations across shards verbatim — so mutation support is built
+// *around* databases, not into them: internal/live overlays a delta on
+// an immutable base and swaps in freshly built Databases, it never
+// edits one in place. Snapshot and Epoch make that contract explicit
+// at the API surface.
 type Database struct {
 	bounds geom.Rect
 	tuples []Tuple
@@ -207,6 +219,20 @@ func NewDatabaseWithLocations(bounds geom.Rect, tuples []Tuple, effective []geom
 	return db
 }
 
+// Snapshot returns a point-in-time immutable view of the database —
+// the database itself, because an immutable Database *is* its own
+// permanent snapshot. The method exists so code written against the
+// snapshot-per-read discipline of mutable wrappers (internal/live)
+// treats a plain Database uniformly, and costs nothing.
+func (db *Database) Snapshot() *Database { return db }
+
+// Epoch returns the database's mutation epoch: always 0, because an
+// immutable Database never changes. Mutable overlays (internal/live)
+// report a counter that advances with every applied mutation; two
+// equal epochs from the same source always describe bit-identical
+// contents.
+func (db *Database) Epoch() uint64 { return 0 }
+
 // Len returns the number of tuples.
 func (db *Database) Len() int { return len(db.tuples) }
 
@@ -229,6 +255,17 @@ func (db *Database) ByID(id int64) (*Tuple, bool) {
 // EffectiveLoc returns the ranking location of the i-th tuple
 // (ground-truth access for evaluation).
 func (db *Database) EffectiveLoc(i int) geom.Point { return db.effective[i] }
+
+// EffectiveByID returns the ranking location of the tuple with the
+// given public ID. Mutable overlays (internal/live) use it to bound
+// the region a deletion can influence.
+func (db *Database) EffectiveByID(id int64) (geom.Point, bool) {
+	i, ok := db.byID[id]
+	if !ok {
+		return geom.Point{}, false
+	}
+	return db.effective[i], true
+}
 
 // Subsample returns a database over a uniformly random fraction of the
 // tuples (the database-size sweep of Figure 18). frac is clamped to
@@ -396,9 +433,9 @@ type Wrapper interface {
 // Service is a queryable kNN interface over a database. It is safe for
 // concurrent use.
 type Service struct {
-	db      *Database
-	opts    Options
-	queries atomic.Int64
+	db    *Database
+	opts  Options
+	meter *Meter
 	// scratch pools the per-query working set (kNN buffers, rank
 	// indices, prominence rescoring) so an answered query allocates
 	// nothing beyond the records returned to the caller.
@@ -453,7 +490,7 @@ func NewService(db *Database, opts Options) *Service {
 	if err := opts.validate(); err != nil {
 		panic(err.Error())
 	}
-	return &Service{db: db, opts: opts}
+	return &Service{db: db, opts: opts, meter: NewMeter(opts.Budget, opts.Limiter)}
 }
 
 // DB returns the underlying database (ground-truth access for
@@ -471,23 +508,14 @@ func (s *Service) Bounds() geom.Rect { return s.db.bounds }
 
 // QueryCount returns the number of queries answered so far (the
 // paper's cost metric).
-func (s *Service) QueryCount() int64 { return s.queries.Load() }
+func (s *Service) QueryCount() int64 { return s.meter.Count() }
 
 // ResetQueryCount zeroes the query counter (between experiment runs).
-func (s *Service) ResetQueryCount() { s.queries.Store(0) }
+func (s *Service) ResetQueryCount() { s.meter.Reset() }
 
 // RemainingBudget returns how many queries may still be issued, or −1
 // for unlimited.
-func (s *Service) RemainingBudget() int64 {
-	if s.opts.Budget <= 0 {
-		return -1
-	}
-	rem := s.opts.Budget - s.queries.Load()
-	if rem < 0 {
-		return 0
-	}
-	return rem
-}
+func (s *Service) RemainingBudget() int64 { return s.meter.Remaining() }
 
 // VirtualDuration converts the queries issued so far into the
 // wall-clock time a real service with the given per-hour rate limit
@@ -516,65 +544,21 @@ func NameFilter(name string) Filter {
 // charge checks for cancellation, consumes one unit of budget and
 // meters the rate limiter. The simulator answers instantly, so the
 // context can only be observed between queries; network adapters
-// additionally cancel the request in flight.
+// additionally cancel the request in flight. The cost model itself
+// (CAS budget reservation, one limiter round-trip per batch) lives in
+// Meter, shared with every composite front.
 func (s *Service) charge(ctx context.Context) error {
-	_, err := s.chargeN(ctx, 1)
-	return err
+	return s.meter.Charge(ctx)
 }
 
-// chargeN atomically reserves up to n units of budget and meters the
-// rate limiter for the granted amount under a single limiter lock
-// round-trip. It returns how many units were granted; when the budget
-// covers only part of the request (or none), err is
-// ErrBudgetExhausted.
-//
-// The reservation is a CAS loop rather than add-then-rollback, so the
-// query counter never transiently exceeds the budget: concurrent
-// readers of QueryCount (the Driver's stop checks) always observe a
-// value ≤ Budget.
+// chargeN reserves up to n units (see Meter.ChargeN).
 func (s *Service) chargeN(ctx context.Context, n int64) (int64, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	if n <= 0 {
-		return 0, nil
-	}
-	granted := n
-	if s.opts.Budget > 0 {
-		for {
-			cur := s.queries.Load()
-			rem := s.opts.Budget - cur
-			if rem <= 0 {
-				return 0, ErrBudgetExhausted
-			}
-			granted = n
-			if rem < n {
-				granted = rem
-			}
-			if s.queries.CompareAndSwap(cur, cur+granted) {
-				break
-			}
-		}
-	} else {
-		s.queries.Add(n)
-	}
-	if s.opts.Limiter != nil {
-		s.opts.Limiter.TakeN(int(granted))
-	}
-	if granted < n {
-		return granted, ErrBudgetExhausted
-	}
-	return granted, nil
+	return s.meter.ChargeN(ctx, n)
 }
 
 // VirtualWaited returns the total virtual time a rate-limited client
 // would have spent waiting (0 without a Limiter).
-func (s *Service) VirtualWaited() time.Duration {
-	if s.opts.Limiter == nil {
-		return 0
-	}
-	return s.opts.Limiter.VirtualElapsed()
-}
+func (s *Service) VirtualWaited() time.Duration { return s.meter.VirtualWaited() }
 
 // rankCandidates returns the `want` nearest tuples of q under the
 // service's ordering contract: ascending distance, exact ties broken

@@ -1,0 +1,127 @@
+package lbs
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// CandidateCount returns how many distance candidates one logical
+// query needs from a candidate source for the receiver's selection to
+// be applied exactly over them: K under distance rank, the K×overfetch
+// candidate pool under prominence rank. The receiver must be
+// normalized (Normalized); composite fronts — the federation Router,
+// the live overlay — size their member services with it.
+func (o Options) CandidateCount() int {
+	if o.Rank == RankByProminence {
+		return o.K * o.ProminenceOverfetch
+	}
+	return o.K
+}
+
+// RankDist is the merge key of composite fronts: the distance from q
+// to a candidate's effective location, computed exactly as the k-d
+// tree computes it (Sqrt of Dist2, not Hypot), so a merged ordering
+// reproduces the per-source — and therefore the union service's —
+// ordering bit for bit. (LRRecord.Dist is the Hypot-computed wire
+// distance; the two can differ in the last ulp, which is why it is not
+// the merge key.)
+func RankDist(q geom.Point, rec *LRRecord) float64 {
+	return math.Sqrt(q.Dist2(rec.Loc))
+}
+
+// MergeRanked merges distance-ranked candidate answers from disjoint
+// sources into the exact answer a single Service over the union
+// database gives: candidates order by (RankDist, ID) — the service
+// ordering contract — the top CandidateCount survive, and the logical
+// selection of norm is re-applied (top K by distance, or prominence
+// re-scoring by (score, ID) over the candidate pool, exactly the
+// selection rawQueryInto applies inside a single service).
+//
+// Each list must be a (dist, ID)-ranked prefix of its source's
+// eligible tuples of length ≥ min(CandidateCount, source size), as
+// Service.QueryLR returns when the source's K is the caller's
+// CandidateCount; sources must hold pairwise-disjoint tuple sets.
+// norm must be normalized (Options.Normalized).
+func MergeRanked(q geom.Point, norm Options, lists ...[]LRRecord) []LRRecord {
+	type cand struct {
+		rec  LRRecord
+		dist float64
+	}
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	cands := make([]cand, 0, n)
+	for _, l := range lists {
+		for i := range l {
+			cands = append(cands, cand{rec: l[i], dist: RankDist(q, &l[i])})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].rec.ID < cands[b].rec.ID
+	})
+	if want := norm.CandidateCount(); len(cands) > want {
+		cands = cands[:want]
+	}
+	if norm.Rank == RankByProminence {
+		type scored struct {
+			i     int
+			id    int64
+			score float64
+		}
+		ss := make([]scored, len(cands))
+		for i := range cands {
+			var attr float64
+			if cands[i].rec.Attrs != nil {
+				attr = cands[i].rec.Attrs[norm.ProminenceAttr]
+			}
+			ss[i] = scored{i: i, id: cands[i].rec.ID, score: cands[i].dist - norm.ProminenceWeight*attr}
+		}
+		sort.Slice(ss, func(a, b int) bool {
+			if ss[a].score != ss[b].score {
+				return ss[a].score < ss[b].score
+			}
+			return ss[a].id < ss[b].id
+		})
+		k := len(ss)
+		if k > norm.K {
+			k = norm.K
+		}
+		out := make([]LRRecord, k)
+		for i := 0; i < k; i++ {
+			out[i] = cands[ss[i].i].rec
+		}
+		return out
+	}
+	k := len(cands)
+	if k > norm.K {
+		k = norm.K
+	}
+	out := make([]LRRecord, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].rec
+	}
+	return out
+}
+
+// StripLocations converts an LR answer to its rank-only (LNR) view —
+// how composite fronts (the Router, the live overlay) derive their LNR
+// answers from the internally merged LR candidates.
+func StripLocations(recs []LRRecord) []LNRRecord {
+	out := make([]LNRRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = LNRRecord{
+			ID:       rec.ID,
+			Name:     rec.Name,
+			Category: rec.Category,
+			Attrs:    rec.Attrs,
+			Tags:     rec.Tags,
+		}
+	}
+	return out
+}

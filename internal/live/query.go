@@ -1,0 +1,118 @@
+package live
+
+import (
+	"context"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+)
+
+// The read path. Every query resolves the snapshot pointer exactly
+// once; a clean overlay delegates to the full-option service over the
+// base (bit-for-bit the immutable behavior at near-zero overhead), a
+// dirty overlay queries base and delta as distance-ranked candidate
+// sources — tombstones excluded by filter, which is semantically
+// identical to removing the tuples: a kNN prefix over the filtered
+// base is the kNN prefix of the base minus the tombstoned tuples —
+// and merges with lbs.MergeRanked, the same (dist, ID) contract the
+// federation Router is pinned against.
+
+// excludeTombstones composes the caller's filter with tombstone
+// exclusion.
+func excludeTombstones(tomb map[int64]struct{}, filter lbs.Filter) lbs.Filter {
+	if len(tomb) == 0 {
+		return filter
+	}
+	return func(t *lbs.Tuple) bool {
+		if _, dead := tomb[t.ID]; dead {
+			return false
+		}
+		return filter == nil || filter(t)
+	}
+}
+
+// answerLR computes one merged LR answer against a fixed snapshot,
+// without charging (callers charge the live meter first; the internal
+// candidate services are unmetered).
+func (d *Database) answerLR(ctx context.Context, s *snapshot, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
+	if s.clean() {
+		return s.full.QueryLR(ctx, q, filter)
+	}
+	baseRecs, err := s.baseCand.QueryLR(ctx, q, excludeTombstones(s.tomb, filter))
+	if err != nil {
+		return nil, err
+	}
+	if s.deltaCand == nil {
+		return lbs.MergeRanked(q, d.opts, baseRecs), nil
+	}
+	deltaRecs, err := s.deltaCand.QueryLR(ctx, q, filter)
+	if err != nil {
+		return nil, err
+	}
+	return lbs.MergeRanked(q, d.opts, baseRecs, deltaRecs), nil
+}
+
+// QueryLR implements lbs.Querier.
+func (d *Database) QueryLR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
+	if err := d.meter.Charge(ctx); err != nil {
+		return nil, err
+	}
+	return d.answerLR(ctx, d.snap.Load(), q, filter)
+}
+
+// QueryLNR implements lbs.Querier: the merged LR answer with locations
+// stripped — exactly how a single service derives LNR from its ranked
+// candidates, so rank orders match bit for bit.
+func (d *Database) QueryLNR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error) {
+	if err := d.meter.Charge(ctx); err != nil {
+		return nil, err
+	}
+	s := d.snap.Load()
+	if s.clean() {
+		return s.full.QueryLNR(ctx, q, filter)
+	}
+	recs, err := d.answerLR(ctx, s, q, filter)
+	if err != nil {
+		return nil, err
+	}
+	return lbs.StripLocations(recs), nil
+}
+
+// QueryLRBatch implements lbs.Querier with Service batch semantics:
+// one atomic budget reservation, the granted prefix answered (all
+// against one snapshot), nil for unanswered positions and
+// ErrBudgetExhausted when the budget covered only part of the batch.
+func (d *Database) QueryLRBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LRRecord, error) {
+	out := make([][]lbs.LRRecord, len(pts))
+	granted, err := d.meter.ChargeN(ctx, int64(len(pts)))
+	if granted > 0 {
+		s := d.snap.Load()
+		for i := int64(0); i < granted; i++ {
+			recs, qerr := d.answerLR(ctx, s, pts[i], filter)
+			if qerr != nil {
+				d.meter.Refund(granted - i)
+				return out, qerr
+			}
+			out[i] = recs
+		}
+	}
+	return out, err
+}
+
+// QueryLNRBatch implements lbs.Querier (see QueryLRBatch).
+func (d *Database) QueryLNRBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LNRRecord, error) {
+	out := make([][]lbs.LNRRecord, len(pts))
+	granted, err := d.meter.ChargeN(ctx, int64(len(pts)))
+	if granted > 0 {
+		s := d.snap.Load()
+		for i := int64(0); i < granted; i++ {
+			recs, qerr := d.answerLR(ctx, s, pts[i], filter)
+			if qerr != nil {
+				d.meter.Refund(granted - i)
+				return out, qerr
+			}
+			out[i] = lbs.StripLocations(recs)
+		}
+	}
+	return out, err
+}

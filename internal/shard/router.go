@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,21 +83,15 @@ type Router struct {
 	want   int // distance candidates needed per logical query
 	bounds geom.Rect
 
-	queries atomic.Int64
-	fanout  atomic.Int64
+	meter  *lbs.Meter
+	fanout atomic.Int64
 }
 
 var _ lbs.Querier = (*Router)(nil)
 
 // candidateK returns how many distance candidates one logical query
-// needs from a shard: K for distance rank, the K×overfetch candidate
-// pool for prominence re-ranking.
-func candidateK(norm lbs.Options) int {
-	if norm.Rank == lbs.RankByProminence {
-		return norm.K * norm.ProminenceOverfetch
-	}
-	return norm.K
-}
+// needs from a shard (see lbs.Options.CandidateCount).
+func candidateK(norm lbs.Options) int { return norm.CandidateCount() }
 
 // NewRouter federates shards behind the logical service options: K,
 // MaxRadius, Budget, Limiter and the rank/prominence fields describe
@@ -127,7 +120,10 @@ func NewRouter(shards []Shard, opts lbs.Options) (*Router, error) {
 		bounds.Max.X = math.Max(bounds.Max.X, sh.Region.Max.X)
 		bounds.Max.Y = math.Max(bounds.Max.Y, sh.Region.Max.Y)
 	}
-	return &Router{shards: shards, opts: norm, want: want, bounds: bounds}, nil
+	return &Router{
+		shards: shards, opts: norm, want: want, bounds: bounds,
+		meter: lbs.NewMeter(norm.Budget, norm.Limiter),
+	}, nil
 }
 
 // Bounds implements lbs.Querier: the union of the shard regions.
@@ -140,34 +136,20 @@ func (r *Router) K() int { return r.opts.K }
 func (r *Router) NumShards() int { return len(r.shards) }
 
 // QueryCount implements lbs.Querier: logical queries answered.
-func (r *Router) QueryCount() int64 { return r.queries.Load() }
+func (r *Router) QueryCount() int64 { return r.meter.Count() }
 
 // RemainingBudget returns how many logical queries may still be
 // issued, or −1 for unlimited.
-func (r *Router) RemainingBudget() int64 {
-	if r.opts.Budget <= 0 {
-		return -1
-	}
-	rem := r.opts.Budget - r.queries.Load()
-	if rem < 0 {
-		return 0
-	}
-	return rem
-}
+func (r *Router) RemainingBudget() int64 { return r.meter.Remaining() }
 
 // VirtualWaited returns the total virtual time the router's rate
 // limiter imposed (0 without a Limiter).
-func (r *Router) VirtualWaited() time.Duration {
-	if r.opts.Limiter == nil {
-		return 0
-	}
-	return r.opts.Limiter.VirtualElapsed()
-}
+func (r *Router) VirtualWaited() time.Duration { return r.meter.VirtualWaited() }
 
 // Stats snapshots the router's cost accounting.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{
-		Logical:  r.queries.Load(),
+		Logical:  r.meter.Count(),
 		Upstream: r.fanout.Load(),
 		Shards:   make([]ShardStat, len(r.shards)),
 	}
@@ -177,52 +159,16 @@ func (r *Router) Stats() RouterStats {
 	return st
 }
 
-// chargeN mirrors Service.chargeN over the router's logical budget:
-// CAS reservation of up to n units plus one limiter round-trip for the
-// granted amount. A partial or empty grant reports ErrBudgetExhausted.
+// chargeN reserves up to n logical units against the router's budget
+// (see lbs.Meter.ChargeN — the same cost model a single Service runs).
 func (r *Router) chargeN(ctx context.Context, n int64) (int64, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	if n <= 0 {
-		return 0, nil
-	}
-	granted := n
-	if r.opts.Budget > 0 {
-		for {
-			cur := r.queries.Load()
-			rem := r.opts.Budget - cur
-			if rem <= 0 {
-				return 0, lbs.ErrBudgetExhausted
-			}
-			granted = n
-			if rem < n {
-				granted = rem
-			}
-			if r.queries.CompareAndSwap(cur, cur+granted) {
-				break
-			}
-		}
-	} else {
-		r.queries.Add(n)
-	}
-	if r.opts.Limiter != nil {
-		r.opts.Limiter.TakeN(int(granted))
-	}
-	if granted < n {
-		return granted, lbs.ErrBudgetExhausted
-	}
-	return granted, nil
+	return r.meter.ChargeN(ctx, n)
 }
 
 // refund hands back logical units whose queries a shard failure left
 // unanswered, so transient upstream errors never leak federated
 // budget (virtual limiter time, already advanced, is not unwound).
-func (r *Router) refund(n int64) {
-	if n > 0 {
-		r.queries.Add(-n)
-	}
-}
+func (r *Router) refund(n int64) { r.meter.Refund(n) }
 
 // minDist returns the distance from q to the nearest point of rect,
 // computed with the same Dist2+Sqrt pipeline the k-d tree ranks with:
@@ -233,14 +179,10 @@ func minDist(q geom.Point, rect geom.Rect) float64 {
 	return math.Sqrt(q.Dist2(rect.Clamp(q)))
 }
 
-// rankDist is the merge key: the distance from q to a candidate's
-// effective location, computed exactly as the k-d tree computes it
-// (Sqrt of Dist2, not Hypot), so merged ordering reproduces the
-// per-shard — and therefore the union service's — ordering bit for
-// bit. (LRRecord.Dist is the Hypot-computed wire distance; the two can
-// differ in the last ulp, which is why it is not the merge key.)
+// rankDist is the merge key (see lbs.RankDist: Sqrt of Dist2, the k-d
+// tree's pipeline, not the Hypot wire distance).
 func rankDist(q geom.Point, rec *lbs.LRRecord) float64 {
-	return math.Sqrt(q.Dist2(rec.Loc))
+	return lbs.RankDist(q, rec)
 }
 
 // ownerOf picks the phase-one shard for a query point: the shard whose
@@ -280,74 +222,12 @@ func (r *Router) boundFor(q geom.Point, ownerRecs []lbs.LRRecord) float64 {
 	return bound
 }
 
-// cand is one merge candidate: the shard record plus its rank key.
-type cand struct {
-	rec  lbs.LRRecord
-	dist float64 // rankDist merge key
-}
-
-// appendCands converts one shard answer into merge candidates.
-func appendCands(cands []cand, q geom.Point, recs []lbs.LRRecord) []cand {
-	for i := range recs {
-		cands = append(cands, cand{rec: recs[i], dist: rankDist(q, &recs[i])})
-	}
-	return cands
-}
-
-// selectTop applies the logical selection over merged candidates:
-// order by (dist, ID), then either keep the top K (distance rank) or
-// re-score the K×overfetch candidate pool by prominence and keep the
-// top K by (score, ID) — exactly the selection rawQueryInto applies
-// inside a single service.
-func (r *Router) selectTop(cands []cand) []lbs.LRRecord {
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].dist != cands[b].dist {
-			return cands[a].dist < cands[b].dist
-		}
-		return cands[a].rec.ID < cands[b].rec.ID
-	})
-	if len(cands) > r.want {
-		cands = cands[:r.want]
-	}
-	if r.opts.Rank == lbs.RankByProminence {
-		type scored struct {
-			i     int
-			id    int64
-			score float64
-		}
-		ss := make([]scored, len(cands))
-		for i := range cands {
-			var attr float64
-			if cands[i].rec.Attrs != nil {
-				attr = cands[i].rec.Attrs[r.opts.ProminenceAttr]
-			}
-			ss[i] = scored{i: i, id: cands[i].rec.ID, score: cands[i].dist - r.opts.ProminenceWeight*attr}
-		}
-		sort.Slice(ss, func(a, b int) bool {
-			if ss[a].score != ss[b].score {
-				return ss[a].score < ss[b].score
-			}
-			return ss[a].id < ss[b].id
-		})
-		n := len(ss)
-		if n > r.opts.K {
-			n = r.opts.K
-		}
-		out := make([]lbs.LRRecord, n)
-		for i := 0; i < n; i++ {
-			out[i] = cands[ss[i].i].rec
-		}
-		return out
-	}
-	n := len(cands)
-	if n > r.opts.K {
-		n = r.opts.K
-	}
-	out := make([]lbs.LRRecord, n)
-	for i := 0; i < n; i++ {
-		out[i] = cands[i].rec
-	}
-	return out
+// selectTop applies the logical selection over the collected per-shard
+// candidate lists: merge by (dist, ID) and re-apply the rank /
+// prominence selection — lbs.MergeRanked, the one shared
+// implementation of the selection every composite front applies.
+func (r *Router) selectTop(q geom.Point, lists ...[]lbs.LRRecord) []lbs.LRRecord {
+	return lbs.MergeRanked(q, r.opts, lists...)
 }
 
 // fanOut runs one subquery per target shard — concurrently when there
@@ -397,7 +277,7 @@ func (r *Router) scatterOne(ctx context.Context, q geom.Point, filter lbs.Filter
 		return nil, err
 	}
 	bound := r.boundFor(q, ownerRecs)
-	cands := appendCands(nil, q, ownerRecs)
+	lists := [][]lbs.LRRecord{ownerRecs}
 	var targets []int
 	for i := range r.shards {
 		if i == owner || minDist(q, r.shards[i].Region) > bound {
@@ -413,10 +293,8 @@ func (r *Router) scatterOne(ctx context.Context, q geom.Point, filter lbs.Filter
 	if err != nil {
 		return nil, err
 	}
-	for _, recs := range answers {
-		cands = appendCands(cands, q, recs)
-	}
-	return r.selectTop(cands), nil
+	lists = append(lists, answers...)
+	return r.selectTop(q, lists...), nil
 }
 
 // scatterBatch is scatterOne over m points with per-shard batching:
@@ -432,11 +310,11 @@ func (r *Router) scatterBatch(ctx context.Context, pts []geom.Point, filter lbs.
 		owners[i] = o
 		group[o] = append(group[o], i)
 	}
-	cands := make([][]cand, len(pts))
+	lists := make([][][]lbs.LRRecord, len(pts))
 	phase1 := make([][]lbs.LRRecord, len(pts))
 	if err := r.shardBatches(ctx, pts, filter, group, func(pos int, recs []lbs.LRRecord) {
 		phase1[pos] = recs
-		cands[pos] = appendCands(cands[pos], pts[pos], recs)
+		lists[pos] = append(lists[pos], recs)
 	}); err != nil {
 		return nil, err
 	}
@@ -451,13 +329,13 @@ func (r *Router) scatterBatch(ctx context.Context, pts []geom.Point, filter lbs.
 		}
 	}
 	if err := r.shardBatches(ctx, pts, filter, need, func(pos int, recs []lbs.LRRecord) {
-		cands[pos] = appendCands(cands[pos], pts[pos], recs)
+		lists[pos] = append(lists[pos], recs)
 	}); err != nil {
 		return nil, err
 	}
 	out := make([][]lbs.LRRecord, len(pts))
 	for i := range pts {
-		out[i] = r.selectTop(cands[i])
+		out[i] = r.selectTop(pts[i], lists[i]...)
 	}
 	return out, nil
 }
@@ -525,17 +403,7 @@ func (r *Router) QueryLNR(ctx context.Context, q geom.Point, filter lbs.Filter) 
 
 // stripLocations converts an LR answer to its rank-only view.
 func stripLocations(recs []lbs.LRRecord) []lbs.LNRRecord {
-	out := make([]lbs.LNRRecord, len(recs))
-	for i, rec := range recs {
-		out[i] = lbs.LNRRecord{
-			ID:       rec.ID,
-			Name:     rec.Name,
-			Category: rec.Category,
-			Attrs:    rec.Attrs,
-			Tags:     rec.Tags,
-		}
-	}
-	return out
+	return lbs.StripLocations(recs)
 }
 
 // QueryLRBatch implements lbs.Querier with Service batch semantics:

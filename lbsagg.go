@@ -143,6 +143,29 @@
 // per-shard physical counters aggregate through its Stats(), which
 // GET /v1/stats exposes as the federation section.
 //
+// # Live databases
+//
+// NewLiveDatabase wraps an immutable Database in a mutable view:
+// inserts, deletes and moves apply through the Mutator interface
+// (Apply) while queries keep running — readers never block, each
+// query resolves one immutable snapshot, and a background rebuild
+// folds accumulated changes into a fresh spatial index once the
+// overlay outgrows LiveOptions.CompactThreshold. Every applied
+// mutation advances the database epoch; a query bracketed by two
+// equal Epoch() reads saw exactly that epoch's contents. Answers over
+// a live database with no pending mutations are bit-identical to a
+// Service over the same tuples, so estimates and seeds reproduce
+// exactly across the immutable/live boundary.
+//
+// NewLiveCluster is the sharded form: N live shards behind a
+// ShardRouter, with mutations routed to the shard owning the
+// location (cross-shard moves re-home the tuple). The HTTP server
+// exposes any Mutator as POST /v1/tuples:stream — an NDJSON stream
+// of ops acked one by one with the epoch at which each became
+// visible (HTTPClient.StreamTuples drives it) — and mutations
+// invalidate exactly the dirtied region of an answer cache wired
+// through LiveOptions.OnInvalidate.
+//
 // # Bring your own service
 //
 // The estimators run against the Oracle interface, which this library
@@ -218,6 +241,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/jobs"
 	"repro/internal/lbs"
+	"repro/internal/live"
 	"repro/internal/sampling"
 	"repro/internal/shard"
 	"repro/internal/workload"
@@ -348,6 +372,62 @@ func NewShardedService(db *Database, opts ServiceOptions, n int) (*ShardRouter, 
 // under prominence ranking).
 func NewShardRouter(shards []Shard, opts ServiceOptions) (*ShardRouter, error) {
 	return shard.NewRouter(shards, opts)
+}
+
+// Live-database types (mutable backends; see the package overview).
+type (
+	// LiveDatabase is a mutable database view: an immutable base plus
+	// a mutation overlay, queried through lock-free snapshots.
+	LiveDatabase = live.Database
+	// LiveCluster is a sharded live database behind a ShardRouter.
+	LiveCluster = live.Cluster
+	// LiveOptions configures compaction and cache invalidation.
+	LiveOptions = live.Options
+	// LiveOp is one mutation (insert, delete or move).
+	LiveOp = live.Op
+	// LiveOpKind discriminates LiveOp.
+	LiveOpKind = live.OpKind
+	// LiveResult is the per-op outcome of a Mutator.Apply call: the
+	// epoch after the op, or the rejection error.
+	LiveResult = live.Result
+	// LiveStats snapshots a live database's mutation counters.
+	LiveStats = live.Stats
+	// Mutator is the mutation surface (LiveDatabase, LiveCluster, or
+	// a custom implementation behind the HTTP ingest endpoint).
+	Mutator = live.Mutator
+)
+
+// Mutation op kinds.
+const (
+	LiveOpInsert = live.OpInsert
+	LiveOpDelete = live.OpDelete
+	LiveOpMove   = live.OpMove
+)
+
+// Mutation rejection errors.
+var (
+	// ErrLiveUnknownID rejects a delete/move of an ID not in the
+	// database.
+	ErrLiveUnknownID = live.ErrUnknownID
+	// ErrLiveDuplicateID rejects an insert of an ID already present.
+	ErrLiveDuplicateID = live.ErrDuplicateID
+	// ErrLiveOutOfRegion rejects an insert/move landing outside every
+	// shard region (or the database bounds).
+	ErrLiveOutOfRegion = live.ErrOutOfRegion
+)
+
+// NewLiveDatabase wraps an immutable base database in a mutable view
+// with the given service options. Queries are served from immutable
+// snapshots and never block behind mutations.
+func NewLiveDatabase(base *Database, opts ServiceOptions, lopts LiveOptions) (*LiveDatabase, error) {
+	return live.New(base, opts, lopts)
+}
+
+// NewLiveCluster partitions base into n live shards behind a
+// ShardRouter; queries stay bit-identical to a single live database
+// while mutations route to the owning shard.
+func NewLiveCluster(base *Database, opts ServiceOptions, n int, lopts LiveOptions) (*LiveCluster, error) {
+	return live.NewCluster(base, opts, n, lopts)
 }
 
 // HTTPSelection is the declarative server-side filter of the HTTP
