@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json
+.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json bench-planner bench-planner-json
 
 all: fmt vet build test
 
@@ -84,6 +84,26 @@ bench-live-json:
 	$(GO) test -run '^$$' -bench '$(LIVE_BENCH)' -benchmem ./internal/live > bench_live.out
 	$(GO) run ./cmd/benchjson -o BENCH_live.json < bench_live.out
 	@rm -f bench_live.out
+
+# The multi-aggregate planner suite: batches of 1/4/16 aggregates
+# sharing 4 selections, run to a fixed confidence target as one
+# planned batch versus one independent run per aggregate. The
+# queries/agg columns are the planner's sharing payoff (batch ≤ ~1/3
+# of independent at 16 aggregates); aggs=1 must match exactly, the
+# bit-identity sanity check.
+PLANNER_BENCH = BenchmarkPlannerBatch|BenchmarkPlannerIndependent
+
+bench-planner:
+	$(GO) test -run '^$$' -bench '$(PLANNER_BENCH)' -benchtime 1x ./internal/core
+
+# bench-planner-json records the planner suite in BENCH_planner.json
+# (same baseline-preserving layout as bench-json; self-primes on first
+# run). The query counts are seed-deterministic, so one iteration is a
+# measurement, not noise.
+bench-planner-json:
+	$(GO) test -run '^$$' -bench '$(PLANNER_BENCH)' -benchtime 1x ./internal/core > bench_planner.out
+	$(GO) run ./cmd/benchjson -o BENCH_planner.json < bench_planner.out
+	@rm -f bench_planner.out
 
 # bench-smoke compiles and runs every benchmark once — the CI guard
 # that keeps bench code from rotting.

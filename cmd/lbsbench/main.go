@@ -19,6 +19,15 @@
 //	lbsbench -remote http://localhost:8080 -method lr -seed 42 \
 //	         -aggs '[{"kind":"count"},{"kind":"avg","attr":"enrollment"}]' \
 //	         -budget 5000 -trace
+//
+// With -aggs but no -remote, lbsbench runs the batch locally through
+// the multi-aggregate query planner against a generated workload,
+// printing the plan (method groups, fused physical aggregates, deduped
+// predicates), every checkpoint budget re-allocation, and the
+// per-group account —
+//
+//	lbsbench -aggs '[{"kind":"count"},{"kind":"avg","attr":"enrollment"}]' \
+//	         -method auto -budget 5000 -target-ci 0.05
 package main
 
 import (
@@ -32,9 +41,13 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/httpapi"
 	"repro/internal/jobs"
+	"repro/internal/lbs"
+	"repro/internal/shard"
+	"repro/internal/workload"
 )
 
 type runner func(context.Context, experiments.Config) (*experiments.Figure, error)
@@ -88,9 +101,101 @@ func runRemote(ctx context.Context, baseURL string, spec jobs.Spec, aggsJSON str
 	if final.Error != "" {
 		fmt.Printf("  error: %s\n", final.Error)
 	}
+	if p := final.Plan; p != nil {
+		fmt.Printf("plan: %d group(s), %d distinct predicate(s), %d replan(s)\n",
+			len(p.Groups), p.Preds, p.Replans)
+		for gi, g := range p.Groups {
+			fmt.Printf("  group %d: method=%s seed=%d specs=%v samples=%d queries=%d",
+				gi, g.Method, g.Seed, g.Specs, g.Samples, g.Queries)
+			if g.CIMet {
+				fmt.Printf(" ci-met")
+			}
+			fmt.Printf("\n    fused: %v\n", g.Aggs)
+		}
+	}
 	for _, r := range final.Results {
 		fmt.Printf("  %-28s estimate=%-14g ±%g (95%% CI)\n", r.Name, float64(r.Estimate), float64(r.CI95))
 	}
+	return nil
+}
+
+// runPlanLocal routes an -aggs batch through the multi-aggregate query
+// planner against a generated workload and prints the planner's
+// decisions: the compiled groups, every checkpoint budget
+// re-allocation, and the per-group account.
+func runPlanLocal(ctx context.Context, cfg experiments.Config, method, aggsJSON string, samples int, targetCI float64) error {
+	var specs []core.AggSpec
+	if err := json.Unmarshal([]byte(aggsJSON), &specs); err != nil {
+		return fmt.Errorf("parsing -aggs: %w", err)
+	}
+	plan, err := core.PlanBatch(specs, core.PlanOptions{
+		Method:     method,
+		Seed:       cfg.Seed,
+		MaxQueries: cfg.Budget,
+		MaxSamples: samples,
+		TargetCI:   targetCI,
+		Batch:      cfg.Batch,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan: %d aggregate(s) → %d group(s), %d distinct predicate(s)\n",
+		len(plan.Specs), len(plan.Groups), plan.Preds)
+	for gi := range plan.Groups {
+		g := &plan.Groups[gi]
+		names := make([]string, len(g.Aggs))
+		for i := range g.Aggs {
+			names[i] = g.Aggs[i].Name
+		}
+		fmt.Printf("  group %d: method=%s seed=%d cost≈%.1f queries/sample specs=%v\n    fused: %v\n",
+			gi, g.Method, g.Seed, g.CostPerSample, g.Specs, names)
+	}
+
+	sc := workload.USASchools(cfg.N, cfg.Seed)
+	opts := lbs.Options{K: cfg.K}
+	var svc core.Oracle
+	if cfg.Shards > 1 {
+		router, err := shard.FromParts(shard.Partition(sc.DB, cfg.Shards), opts)
+		if err != nil {
+			return err
+		}
+		svc = router
+	} else {
+		svc = lbs.NewService(sc.DB, opts)
+	}
+	fmt.Printf("running over %s n=%d k=%d (budget=%d shards=%d)\n",
+		sc.Name, cfg.N, cfg.K, cfg.Budget, cfg.Shards)
+
+	br, err := plan.Execute(ctx, svc, nil)
+	if err != nil {
+		return err
+	}
+	// The budget decisions, as the checkpoint allocator made them.
+	const maxReplanLines = 12
+	for i, ev := range br.Replans {
+		if i == maxReplanLines {
+			fmt.Printf("  … %d more replan(s)\n", len(br.Replans)-maxReplanLines)
+			break
+		}
+		fmt.Printf("  replan %d: remaining=%d →", ev.Round, ev.RemainingQueries)
+		for _, a := range ev.Allocs {
+			fmt.Printf(" g%d need=%.0f quota=%d", a.Group, a.Need, a.Samples)
+		}
+		fmt.Println()
+	}
+	for gi, g := range br.Groups {
+		fmt.Printf("group %d [%s]: %d samples, %d queries", gi, g.Method, g.Samples, g.Queries)
+		if g.CIMet {
+			fmt.Printf(", ci met")
+		}
+		fmt.Println()
+	}
+	fmt.Println("results:")
+	for _, r := range br.Results {
+		fmt.Printf("  %-28s estimate=%-14g ±%g (95%% CI)  samples=%d\n",
+			r.Name, r.Estimate, r.CI95, r.Samples)
+	}
+	fmt.Printf("total: %d samples, %d queries\n", br.Samples, br.Queries)
 	return nil
 }
 
@@ -107,13 +212,20 @@ func main() {
 		shards = flag.Int("shards", 0, "run local experiments against a federated backend of this many in-process spatial shards (0/1 = single service; answers are bit-identical)")
 
 		remote      = flag.String("remote", "", "base URL of an lbsserve to submit one estimation job to (switches lbsbench into remote-client mode)")
-		method      = flag.String("method", "lr", "remote job method: lr | lnr | nno")
-		aggs        = flag.String("aggs", `[{"kind":"count"}]`, "remote job aggregates (JSON array of specs)")
-		samples     = flag.Int("samples", 0, "remote job max samples (0 = unlimited)")
+		method      = flag.String("method", "lr", "job method: auto | lr | lnr | nno (auto lets the planner's cost model choose)")
+		aggs        = flag.String("aggs", `[{"kind":"count"}]`, "job aggregates (JSON array of specs); without -remote, runs the batch through the local query planner")
+		samples     = flag.Int("samples", 0, "job max samples (0 = unlimited)")
+		targetCI    = flag.Float64("target-ci", 0, "stop once every aggregate's 95% CI half-width ≤ rel × |estimate| (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "remote job worker parallelism (0/1 = serial)")
 		trace       = flag.Bool("trace", false, "stream the remote job's trace to stdout")
 	)
 	flag.Parse()
+	aggsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "aggs" {
+			aggsSet = true
+		}
+	})
 
 	// Ctrl-C cancels the context; in-flight estimation runs stop at
 	// the next sample boundary and the command exits promptly instead
@@ -128,6 +240,7 @@ func main() {
 			Options: jobs.RunOptions{
 				MaxSamples:  *samples,
 				MaxQueries:  *budget,
+				TargetCI:    *targetCI,
 				Parallelism: *parallelism,
 				Batch:       *batch,
 			},
@@ -172,6 +285,20 @@ func main() {
 	}
 	if *shards > 1 {
 		cfg.Shards = *shards
+	}
+
+	// An explicit -aggs without -remote runs the batch through the
+	// local multi-aggregate query planner instead of the experiments.
+	if aggsSet {
+		if err := runPlanLocal(ctx, cfg, *method, *aggs, *samples, *targetCI); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "plan: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	figures := map[string]runner{

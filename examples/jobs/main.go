@@ -4,8 +4,10 @@
 // The program serves a simulated LBS over HTTP, then acts as a remote
 // client: it submits a declarative estimation job (JSON specs — no Go
 // closures cross the wire), streams the live estimate-versus-cost
-// trace, waits for the result, and finally demonstrates canceling a
-// long job mid-run to collect its partial results.
+// trace, waits for the result, demonstrates canceling a long job
+// mid-run to collect its partial results, and closes with batched
+// analytics — a whole dashboard of related aggregates in one job,
+// planned server-side into shared sample streams with fused operators.
 //
 //	go run ./examples/jobs
 package main
@@ -123,4 +125,44 @@ func main() {
 	}
 	fmt.Printf("%s: %s with partial results after %d samples: COUNT(*) ≈ %.1f\n",
 		partial.ID, partial.State, partial.Samples, float64(partial.Results[0].Estimate))
+
+	// Batched analytics: a dashboard of related aggregates in one job.
+	// The server routes the batch through the multi-aggregate query
+	// planner — the three Sunday aggregates share one selection (its
+	// predicate compiles once, the AVG rides the same fused SUM/COUNT
+	// physicals), and all specs share one sample stream — so the whole
+	// dashboard costs a fraction of one job per aggregate.
+	open := lbsagg.TagEq("open_sunday", "yes")
+	batch, err := client.Estimate(ctx, lbsagg.JobSpec{
+		Method: lbsagg.JobMethodAuto, // the planner's cost model picks per group
+		Seed:   7,
+		Aggregates: []lbsagg.AggSpec{
+			lbsagg.CountSpec().WithWhere(open).WithLabel("sunday_count"),
+			lbsagg.SumSpec("rating").WithWhere(open).WithLabel("sunday_rating_sum"),
+			lbsagg.AvgSpec("rating").WithWhere(open).WithLabel("sunday_rating_avg"),
+			lbsagg.CountSpec().
+				WithWhere(lbsagg.And(open, lbsagg.AttrCmp("rating", "ge", 4))).
+				WithLabel("sunday_top_rated"),
+		},
+		Options: lbsagg.JobRunOptions{MaxQueries: 4000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bf, err := client.WaitJob(ctx, batch.ID, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s after %d samples, %d queries for %d aggregates\n",
+		bf.ID, bf.State, bf.Samples, bf.Queries, len(bf.Results))
+	if p := bf.Plan; p != nil {
+		fmt.Printf("  plan: %d group(s), %d distinct predicate(s)\n", len(p.Groups), p.Preds)
+		for _, g := range p.Groups {
+			fmt.Printf("    %-4s seed=%-3d fused=%d physicals for specs %v\n",
+				g.Method, g.Seed, len(g.Aggs), g.Specs)
+		}
+	}
+	for _, r := range bf.Results {
+		fmt.Printf("  %-40s %.2f ± %.2f (95%% CI)\n", r.Name, float64(r.Estimate), float64(r.CI95))
+	}
 }

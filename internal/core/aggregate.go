@@ -305,7 +305,13 @@ func RatioOf(num, den Result) Result {
 		Queries: num.Queries,
 	}
 	if den.Estimate == 0 {
+		// The ratio is undefined, and so are its error bars: a numeric
+		// StdErr/CI95 of 0 would read as "exactly known" on the wire.
+		// NaN marshals to null through jobs.JSONFloat, so clients see
+		// the whole result as undefined, never NaN/Inf or a fake CI.
 		out.Estimate = math.NaN()
+		out.StdErr = math.NaN()
+		out.CI95 = math.NaN()
 		return out
 	}
 	r := num.Estimate / den.Estimate

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// This file gives the PredSpec AST a canonical form and a structural
+// hash — the foundation the multi-aggregate planner's predicate dedup
+// stands on (see planner.go). Two predicates that select the same
+// tuples by construction (identical trees up to and/or child order and
+// duplicate children) canonicalize to the same tree, serialize to the
+// same key, and hash equal; the planner then compiles each distinct
+// selection once and shares it across every aggregate that uses it.
+
+// Canon returns the canonical form of the predicate: children of
+// and/or nodes are canonicalized recursively, sorted by their
+// serialized key and deduplicated, so trees that differ only in
+// conjunct/disjunct order (or repeat a conjunct) become identical.
+// Leaves are already canonical. Canon never mutates the receiver or
+// anything it shares: child slices are rebuilt.
+//
+// Canonicalization is purely structural — it does not attempt
+// semantic equivalences (De Morgan, range merging, contradiction
+// elimination), so it can under-merge but never over-merge: the
+// canonical form always selects exactly the same tuples as the
+// original, and dedup by canonical key is therefore always sound.
+func (p PredSpec) Canon() PredSpec {
+	switch p.Op {
+	case OpAnd, OpOr:
+		kids := make([]PredSpec, len(p.Args))
+		keys := make([]string, len(p.Args))
+		for i := range p.Args {
+			kids[i] = p.Args[i].Canon()
+			keys[i] = string(kids[i].appendKey(nil))
+		}
+		sort.Sort(&byKey{kids: kids, keys: keys})
+		out := kids[:0]
+		for i := range kids {
+			if i > 0 && keys[i] == keys[i-1] {
+				continue
+			}
+			out = append(out, kids[i])
+		}
+		p.Args = out
+	default:
+		if len(p.Args) > 0 {
+			kids := make([]PredSpec, len(p.Args))
+			for i := range p.Args {
+				kids[i] = p.Args[i].Canon()
+			}
+			p.Args = kids
+		}
+	}
+	return p
+}
+
+// byKey sorts canonical children together with their serialized keys.
+type byKey struct {
+	kids []PredSpec
+	keys []string
+}
+
+func (s *byKey) Len() int           { return len(s.kids) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.kids[i], s.kids[j] = s.kids[j], s.kids[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// Hash returns a 64-bit structural hash (FNV-1a) of the predicate's
+// canonical form: structurally-equal predicates — including and/or
+// trees that differ only in child order — hash equal. Distinct
+// predicates are not guaranteed collision-free (it is a 64-bit hash);
+// the planner's dedup therefore keys on the full canonical
+// serialization and uses Hash only as the compact observable form
+// (plan reports, CLI output, tests).
+func (p PredSpec) Hash() uint64 {
+	c := p.Canon()
+	h := fnv.New64a()
+	h.Write(c.appendKey(nil))
+	return h.Sum64()
+}
+
+// canonKey returns the canonical serialization of the predicate — the
+// collision-free dedup key. Callers must pass a canonical node (the
+// key of a non-canonical node is order-sensitive).
+func (p *PredSpec) canonKey() string { return string(p.appendKey(nil)) }
+
+// appendKey serializes the node unambiguously: every field is either
+// fixed-width (float bits) or length-prefixed (strings), so no two
+// structurally different trees share a serialization.
+func (p *PredSpec) appendKey(b []byte) []byte {
+	b = appendLenStr(b, p.Op)
+	b = append(b, '(')
+	switch p.Op {
+	case OpAttrCmp:
+		b = appendLenStr(b, p.Attr)
+		b = appendLenStr(b, p.Cmp)
+		b = appendFloatBits(b, p.Value)
+	case OpTagEq:
+		b = appendLenStr(b, p.Tag)
+		b = appendLenStr(b, p.Equals)
+	case OpInRect:
+		if p.Rect != nil {
+			b = appendFloatBits(b, p.Rect.MinX)
+			b = appendFloatBits(b, p.Rect.MinY)
+			b = appendFloatBits(b, p.Rect.MaxX)
+			b = appendFloatBits(b, p.Rect.MaxY)
+		}
+	default:
+		for i := range p.Args {
+			b = p.Args[i].appendKey(b)
+		}
+	}
+	return append(b, ')')
+}
+
+// appendLenStr appends a length-prefixed string.
+func appendLenStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendFloatBits appends the exact bit pattern of v, so canonical
+// keys distinguish every representable constant (0 and -0 included —
+// treating them as distinct under-merges but stays sound).
+func appendFloatBits(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// physKey is the dedup identity of one physical aggregate: its kind,
+// attribute and canonical selection. Two specs whose physical halves
+// share a physKey fold the same per-sample values and are answered by
+// one accumulator.
+func physKey(kind, attr string, where *PredSpec) string {
+	b := appendLenStr(nil, kind)
+	b = appendLenStr(b, attr)
+	if where != nil {
+		c := where.Canon()
+		b = c.appendKey(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// shufflePred returns a structurally-equal tree with every and/or
+// child list independently permuted (and one random child duplicated,
+// which canonicalization must absorb).
+func shufflePred(rng *rand.Rand, p PredSpec) PredSpec {
+	if len(p.Args) == 0 {
+		return p
+	}
+	kids := make([]PredSpec, 0, len(p.Args)+1)
+	for i := range p.Args {
+		kids = append(kids, shufflePred(rng, p.Args[i]))
+	}
+	if p.Op == OpAnd || p.Op == OpOr {
+		if rng.Intn(2) == 0 {
+			kids = append(kids, kids[rng.Intn(len(kids))]) // duplicate one conjunct
+		}
+		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+	}
+	p.Args = kids
+	return p
+}
+
+// TestCanonHashInvariantUnderReordering: structurally-equal predicates
+// (and/or children reordered and duplicated) canonicalize to the same
+// tree and hash equal — the soundness precondition of planner dedup —
+// and the canonical form selects exactly the same records.
+func TestCanonHashInvariantUnderReordering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := testRecords(t, 40)
+	for i := 0; i < 500; i++ {
+		p := randPred(rng, 3)
+		q := shufflePred(rng, p)
+		if p.Hash() != q.Hash() {
+			t.Fatalf("case %d: reordered tree hashes differ\n p=%s\n q=%s", i, p, q)
+		}
+		if !reflect.DeepEqual(p.Canon(), q.Canon()) {
+			t.Fatalf("case %d: canonical forms differ\n p=%s\n q=%s", i, p.Canon(), q.Canon())
+		}
+		can := q.Canon()
+		orig, canEval := p.compile(), can.compile()
+		for _, r := range recs {
+			if orig(r) != canEval(r) {
+				t.Fatalf("case %d: canonical form selects differently on record %d (%s)", i, r.ID, p)
+			}
+		}
+	}
+}
+
+// TestCanonHashDistinct: structurally-distinct canonical predicates on
+// the seeded workload do not collide — the hash is usable as the
+// compact observable identity of a selection.
+func TestCanonHashDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	byHash := make(map[uint64]string)
+	for i := 0; i < 2000; i++ {
+		p := randPred(rng, 3)
+		c := p.Canon()
+		key := c.canonKey()
+		h := p.Hash()
+		if prev, ok := byHash[h]; ok && prev != key {
+			t.Fatalf("hash collision between distinct canonical predicates:\n a=%q\n b=%q", prev, key)
+		}
+		byHash[h] = key
+	}
+}
+
+// TestCanonDoesNotMutate: Canon must leave the receiver's tree (and
+// shared child slices) untouched.
+func TestCanonDoesNotMutate(t *testing.T) {
+	p := And(TagEq("open_sunday", "yes"), AttrCmp("rating", "ge", 3))
+	before := p.String()
+	_ = p.Canon()
+	_ = p.Hash()
+	if p.String() != before {
+		t.Fatalf("Canon mutated the receiver: %s != %s", p.String(), before)
+	}
+	if p.Args[0].Op != OpTagEq {
+		t.Fatalf("Canon reordered the receiver's children in place")
+	}
+}

@@ -352,6 +352,10 @@ func (s *AggSpec) Validate() error {
 	return nil
 }
 
+// Name returns the result label the spec reports under: Label when
+// set, a derived "KIND(attr | pred)" form otherwise.
+func (s AggSpec) Name() string { return s.name() }
+
 // name derives the result label.
 func (s *AggSpec) name() string {
 	if s.Label != "" {

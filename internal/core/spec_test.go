@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -282,4 +284,50 @@ func TestCompilePlanAvg(t *testing.T) {
 	if out[1].Name != "AVG(enrollment)" {
 		t.Errorf("avg name: got %q", out[1].Name)
 	}
+}
+
+// TestCompilePlanAvgZeroCountUndefined pins the zero-denominator
+// guard: an AVG over an always-false selection finishes with NaN for
+// the estimate AND its error bars — never Inf, and never a numeric
+// StdErr/CI95 that would read as "exactly known". (The wire layer's
+// JSONFloat then carries all three as null.)
+func TestCompilePlanAvgZeroCountUndefined(t *testing.T) {
+	never := AttrCmp("rating", "lt", -1) // Record.Attr floors at 0: always false
+	plan, err := CompilePlan([]AggSpec{AvgSpec("rating").WithWhere(never)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := smallService(t, 40, 1, 2)
+	est := NewLRAggregator(svc, DefaultLROptions(5))
+	phys, err := Run(context.Background(), est, plan.Aggs, WithMaxSamples(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, r Result) {
+		t.Helper()
+		if !math.IsNaN(r.Estimate) {
+			t.Errorf("%s: estimate %v, want NaN (undefined)", label, r.Estimate)
+		}
+		if !math.IsNaN(r.StdErr) || !math.IsNaN(r.CI95) {
+			t.Errorf("%s: stderr/ci95 = %v/%v, want NaN (an undefined ratio has no CI)",
+				label, r.StdErr, r.CI95)
+		}
+		if r.Samples != 30 {
+			t.Errorf("%s: samples %d, want 30", label, r.Samples)
+		}
+	}
+	check("CompilePlan", plan.Finish(phys)[0])
+
+	// Same pin through the planner path.
+	qp, err := PlanBatch([]AggSpec{AvgSpec("rating").WithWhere(never)},
+		PlanOptions{Seed: 5, MaxSamples: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, _ := smallService(t, 40, 1, 2)
+	br, err := qp.Execute(context.Background(), svc2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("PlanBatch", br.Results[0])
 }

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// This file executes a QueryPlan as a streaming operator graph (see
+// planner.go for the plan shape). Each group runs its own sample
+// source; the executor interleaves groups in checkpoint-sized chunks
+// and re-allocates the remaining shared query budget across the
+// still-unconverged groups by observed accumulator variance — the
+// groups that need more samples to reach the confidence target get
+// proportionally more of what is left.
+
+// PlanProgress is the per-sample streaming event of Execute: one
+// completed sample of one group, carrying the group's physical trace
+// points and the finished per-spec partial results. The slices are
+// reused between calls — consumers must copy what they keep (the same
+// contract as WithProgress).
+type PlanProgress struct {
+	// Group indexes QueryPlan.Groups.
+	Group int
+	// Specs are the group's spec indices (QueryPlan.Groups[Group].Specs).
+	Specs []int
+	// Points holds one TracePoint per physical aggregate of the group,
+	// index-aligned with the group's Aggs. Queries is relative to the
+	// whole batch (the shared cost axis of the trace).
+	Points []TracePoint
+	// Partial holds one finished Result per spec in Specs (AVG folded
+	// through RatioOf), index-aligned with Specs.
+	Partial []Result
+	// GroupSamples and GroupQueries are the group's own totals so far.
+	GroupSamples int
+	GroupQueries int64
+}
+
+// GroupAlloc is one group's slice of a checkpoint re-plan: its
+// variance-driven need estimate (in samples) and the sample quota the
+// allocator granted for the next chunk.
+type GroupAlloc struct {
+	Group   int     `json:"group"`
+	Need    float64 `json:"need"`
+	Samples int     `json:"samples"`
+}
+
+// ReplanEvent records one checkpoint-boundary budget re-allocation.
+type ReplanEvent struct {
+	Round int `json:"round"`
+	// RemainingQueries is the shared budget left at the checkpoint
+	// (-1 when the batch is unbounded).
+	RemainingQueries int64        `json:"remaining_queries"`
+	Allocs           []GroupAlloc `json:"allocs"`
+}
+
+// maxReplanEvents bounds the recorded re-plan history of unbounded
+// multi-group runs; later events are dropped (the decisions keep
+// happening, only the log truncates).
+const maxReplanEvents = 256
+
+// GroupReport is the post-run account of one plan group.
+type GroupReport struct {
+	Method        string   `json:"method"`
+	Seed          int64    `json:"seed"`
+	Specs         []int    `json:"specs"`
+	Aggs          []string `json:"aggs"`
+	Preds         int      `json:"preds"`
+	NeedsLocation bool     `json:"needs_location,omitempty"`
+	// CostPerSample is the modeled cost the first allocation used.
+	CostPerSample float64 `json:"cost_per_sample"`
+	Samples       int     `json:"samples"`
+	Queries       int64   `json:"queries"`
+	CIMet         bool    `json:"ci_met,omitempty"`
+}
+
+// BatchResult is the outcome of executing a QueryPlan: one Result per
+// source spec (request order), plus the per-group accounts and the
+// re-plan history.
+type BatchResult struct {
+	// Results are index-aligned with QueryPlan.Specs. Result.Queries
+	// reports the owning group's spend (the shared stream each spec
+	// rode), so Σ over distinct groups — not over specs — is the
+	// batch total.
+	Results []Result
+	Groups  []GroupReport
+	Replans []ReplanEvent
+	// Samples is the total across groups; Queries the batch's whole
+	// oracle spend.
+	Samples int
+	Queries int64
+}
+
+// groupState is one group's mutable execution state.
+type groupState struct {
+	est     Estimator
+	accs    []Accumulator
+	samples int
+	queries int64
+	done    bool
+	ciMet   bool
+	// progress buffers, reused per sample.
+	points  []TracePoint
+	partial []Result
+}
+
+// resultOfAcc assembles a Result from one accumulator — the same
+// arithmetic as the Driver's finalize, so planned runs stay
+// bit-identical to independent ones.
+func resultOfAcc(name string, a *Accumulator, queries int64) Result {
+	return Result{
+		Name:     name,
+		Estimate: a.Mean(),
+		StdErr:   a.StdErr(),
+		CI95:     a.CI95(),
+		Samples:  a.N(),
+		Queries:  queries,
+	}
+}
+
+// specResult finishes one spec of group gi from the group's fused
+// accumulators (RatioOf for AVG, pass-through otherwise).
+func (p *QueryPlan) specResult(gi, li int, st *groupState) Result {
+	grp := &p.Groups[gi]
+	e := grp.entries[li]
+	name := p.Specs[grp.Specs[li]].name()
+	if e.den < 0 {
+		return resultOfAcc(name, &st.accs[e.num], st.queries)
+	}
+	r := RatioOf(
+		resultOfAcc(grp.Aggs[e.num].Name, &st.accs[e.num], st.queries),
+		resultOfAcc(grp.Aggs[e.den].Name, &st.accs[e.den], st.queries),
+	)
+	r.Name = name
+	return r
+}
+
+// groupCIMet is the per-spec CI sink's stopping rule: every spec of
+// the group has converged. Direct specs use the accumulator rule of
+// ciMet; AVG specs use the delta-method CI of their ratio, and an
+// undefined ratio (zero denominator) retires only once the
+// denominator is confidently zero — no observed variance — so a
+// selection that is merely rare keeps sampling.
+func (p *QueryPlan) groupCIMet(gi int, st *groupState) bool {
+	rel := p.opts.TargetCI
+	if rel <= 0 || st.samples < ciMinSamples {
+		return false
+	}
+	grp := &p.Groups[gi]
+	for li := range grp.entries {
+		e := grp.entries[li]
+		if e.den < 0 {
+			a := &st.accs[e.num]
+			if a.CI95() > rel*math.Abs(a.Mean()) {
+				return false
+			}
+			continue
+		}
+		den := &st.accs[e.den]
+		if den.Mean() == 0 {
+			if den.CI95() > 0 {
+				return false
+			}
+			continue
+		}
+		r := p.specResult(gi, li, st)
+		if r.CI95 > rel*math.Abs(r.Estimate) {
+			return false
+		}
+	}
+	return true
+}
+
+// emitProgress streams one completed sample.
+func (p *QueryPlan) emitProgress(gi int, st *groupState, q int64, progress func(PlanProgress)) {
+	if progress == nil {
+		return
+	}
+	grp := &p.Groups[gi]
+	for j := range grp.Aggs {
+		st.points[j] = TracePoint{Queries: q, Samples: st.accs[j].N(), Estimate: st.accs[j].Mean()}
+	}
+	for li := range grp.entries {
+		st.partial[li] = p.specResult(gi, li, st)
+	}
+	progress(PlanProgress{
+		Group:        gi,
+		Specs:        grp.Specs,
+		Points:       st.points,
+		Partial:      st.partial,
+		GroupSamples: st.samples,
+		GroupQueries: st.queries,
+	})
+}
+
+// need estimates how many more samples group gi wants, from its
+// observed accumulator variance: for the worst spec, the total sample
+// count that would shrink its 95 % CI to the target is
+// n·(ci/(rel·|est|))², so the need is that minus what it already has.
+// Before ciMinSamples (or with no target) the need falls back to one
+// checkpoint — "unknown, keep probing".
+func (p *QueryPlan) need(gi int, st *groupState) float64 {
+	unknown := float64(p.opts.CheckpointSamples)
+	if st.samples < ciMinSamples {
+		return unknown
+	}
+	rel := p.opts.TargetCI
+	grp := &p.Groups[gi]
+	worst := 0.0
+	for li := range grp.entries {
+		r := p.specResult(gi, li, st)
+		if math.IsNaN(r.Estimate) || r.Estimate == 0 {
+			if r.CI95 == 0 {
+				continue // confidently zero: no need
+			}
+			return unknown * 4 // undefined scale: generous probe
+		}
+		relCI := r.CI95 / math.Abs(r.Estimate)
+		var toGo float64
+		if rel > 0 {
+			// Samples to reach the target, minus samples held.
+			toGo = float64(st.samples) * (relCI/rel*relCI/rel - 1)
+		} else {
+			// No target: weight by relative variance, so the noisiest
+			// group drinks most of an open-ended budget.
+			toGo = float64(st.samples) * relCI * relCI
+		}
+		if toGo > worst {
+			worst = toGo
+		}
+	}
+	return worst
+}
+
+// allocate divides the next checkpoint's samples across the active
+// groups proportionally to their needs, scaled down when the modeled
+// query cost of the round would overrun the remaining shared budget.
+func (p *QueryPlan) allocate(round int, remaining int64, active []int, states []groupState) ([]int, ReplanEvent) {
+	base := p.opts.CheckpointSamples
+	ev := ReplanEvent{Round: round, RemainingQueries: remaining}
+	needs := make([]float64, len(active))
+	total := 0.0
+	for i, gi := range active {
+		needs[i] = p.need(gi, &states[gi])
+		total += needs[i]
+	}
+	quotas := make([]int, len(active))
+	for i := range active {
+		share := 1.0 / float64(len(active))
+		if total > 0 {
+			share = needs[i] / total
+		}
+		q := int(math.Round(share * float64(len(active)) * float64(base)))
+		if q < 1 {
+			q = 1
+		}
+		if q > 4*base {
+			q = 4 * base
+		}
+		quotas[i] = q
+	}
+	if remaining >= 0 {
+		// Scale the round down when its modeled cost overruns what is
+		// left, so the budget drains across groups by need instead of
+		// first-come-first-served.
+		cost := 0.0
+		perSample := make([]float64, len(active))
+		for i, gi := range active {
+			perSample[i] = p.Groups[gi].CostPerSample
+			if st := &states[gi]; st.samples > 0 {
+				perSample[i] = float64(st.queries) / float64(st.samples)
+			}
+			cost += float64(quotas[i]) * perSample[i]
+		}
+		if cost > float64(remaining) {
+			scale := float64(remaining) / cost
+			for i := range quotas {
+				if q := int(math.Floor(float64(quotas[i]) * scale)); q < quotas[i] {
+					quotas[i] = q
+				}
+				if quotas[i] < 1 {
+					quotas[i] = 1
+				}
+			}
+		}
+	}
+	for i, gi := range active {
+		ev.Allocs = append(ev.Allocs, GroupAlloc{Group: gi, Need: needs[i], Samples: quotas[i]})
+	}
+	return quotas, ev
+}
+
+// runGroupChunk draws up to quota samples from group gi, mirroring the
+// serial Driver's per-sample check order (sample cap → shared budget →
+// context → step → fold/stream → graceful stop → CI) so a single-group
+// plan reproduces a legacy Run sample for sample. Sets *exhausted when
+// the shared budget ends the whole batch; returns only fatal errors.
+func (p *QueryPlan) runGroupChunk(ctx context.Context, gi int, st *groupState, svc Oracle, startQ int64, quota int, progress func(PlanProgress), exhausted *bool) error {
+	grp := &p.Groups[gi]
+	taken := 0
+	for {
+		if taken >= quota {
+			return nil
+		}
+		if p.opts.MaxSamples > 0 && st.samples >= p.opts.MaxSamples {
+			st.done = true
+			return nil
+		}
+		if p.opts.MaxQueries > 0 && svc.QueryCount()-startQ >= p.opts.MaxQueries {
+			*exhausted = true
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		m := p.opts.Batch
+		if m < 1 {
+			m = 1
+		}
+		if rem := quota - taken; rem < m {
+			m = rem
+		}
+		if p.opts.MaxSamples > 0 {
+			if rem := p.opts.MaxSamples - st.samples; rem < m {
+				m = rem
+			}
+		}
+		gStart := svc.QueryCount()
+		batchVals, err := stepBatch(ctx, st.est, grp.Aggs, m)
+		st.queries += svc.QueryCount() - gStart
+		q := svc.QueryCount() - startQ
+		for _, vals := range batchVals {
+			for j := range grp.Aggs {
+				st.accs[j].Add(vals[j])
+			}
+			st.samples++
+			taken++
+			p.emitProgress(gi, st, q, progress)
+		}
+		if stopErr(ctx, err) {
+			*exhausted = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if p.groupCIMet(gi, st) {
+			st.done = true
+			st.ciMet = true
+			return nil
+		}
+	}
+}
+
+// Execute runs the plan against svc: group sample streams interleaved
+// at checkpoint grain, the shared budget re-allocated by variance at
+// every boundary, every completed sample streamed through progress
+// (which may be nil). It stops when every group converged or capped
+// out, the shared budget or the service's own is exhausted, or ctx is
+// canceled — cancellation is graceful and returns the partial
+// BatchResult, like the Driver (an error is returned only when not
+// even one sample finished, or on a non-graceful transport failure).
+//
+// A QueryPlan must be executed at most once: its fused aggregates and
+// estimators carry run state.
+func (p *QueryPlan) Execute(ctx context.Context, svc Oracle, progress func(PlanProgress)) (*BatchResult, error) {
+	startQ := svc.QueryCount()
+	states := make([]groupState, len(p.Groups))
+	for i := range states {
+		grp := &p.Groups[i]
+		states[i] = groupState{
+			est:     newPlanEstimator(grp.Method, svc, grp.Seed),
+			accs:    make([]Accumulator, len(grp.Aggs)),
+			points:  make([]TracePoint, len(grp.Aggs)),
+			partial: make([]Result, len(grp.Specs)),
+		}
+	}
+
+	var replans []ReplanEvent
+	exhausted := false
+	for round := 0; !exhausted; round++ {
+		var active []int
+		for i := range states {
+			if !states[i].done {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 || ctx.Err() != nil {
+			break
+		}
+		remaining := int64(-1)
+		if p.opts.MaxQueries > 0 {
+			remaining = p.opts.MaxQueries - (svc.QueryCount() - startQ)
+			if remaining <= 0 {
+				break
+			}
+		}
+		quotas, ev := p.allocate(round, remaining, active, states)
+		if len(p.Groups) > 1 && len(replans) < maxReplanEvents {
+			replans = append(replans, ev)
+		}
+		for i, gi := range active {
+			if exhausted || ctx.Err() != nil {
+				break
+			}
+			if err := p.runGroupChunk(ctx, gi, &states[gi], svc, startQ, quotas[i], progress, &exhausted); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	total := 0
+	for i := range states {
+		total += states[i].samples
+	}
+	if total == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
+	}
+
+	br := &BatchResult{
+		Results: make([]Result, len(p.Specs)),
+		Groups:  make([]GroupReport, len(p.Groups)),
+		Replans: replans,
+		Samples: total,
+		Queries: svc.QueryCount() - startQ,
+	}
+	for gi := range p.Groups {
+		grp := &p.Groups[gi]
+		st := &states[gi]
+		names := make([]string, len(grp.Aggs))
+		for j := range grp.Aggs {
+			names[j] = grp.Aggs[j].Name
+		}
+		br.Groups[gi] = GroupReport{
+			Method:        grp.Method,
+			Seed:          grp.Seed,
+			Specs:         grp.Specs,
+			Aggs:          names,
+			Preds:         len(grp.PredHashes),
+			NeedsLocation: grp.NeedsLocation,
+			CostPerSample: grp.CostPerSample,
+			Samples:       st.samples,
+			Queries:       st.queries,
+			CIMet:         st.ciMet,
+		}
+		for li, si := range grp.Specs {
+			br.Results[si] = p.specResult(gi, li, st)
+		}
+	}
+	return br, nil
+}

@@ -12,6 +12,15 @@ package httpapi
 // The estimation itself runs server-side against the server's backend
 // querier; only declarative specs (core.AggSpec trees) cross the wire,
 // never closures.
+//
+// A spec may carry many aggregates: the server runs the batch through
+// the multi-aggregate query planner (core.PlanBatch), deduping
+// predicates, fusing same-selection aggregates and sharing sample
+// streams, so a batch costs far fewer oracle queries than one job per
+// aggregate. The job view then reports per-aggregate results plus a
+// "plan" section (method groups, fused physicals, per-group account).
+// The wire shape is backward compatible — single-aggregate specs and
+// pre-planner clients see the same fields as before.
 
 import (
 	"encoding/json"

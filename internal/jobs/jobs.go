@@ -2,9 +2,12 @@
 // resources: a Manager creates, runs, observes and cancels estimation
 // jobs over a shared service backend. Each job compiles a declarative
 // request — method, per-job RNG seed, core.AggSpec aggregates, run
-// options — into an estimator wired through a job-scoped budget
+// options — through the multi-aggregate query planner (core.PlanBatch:
+// shared sample streams, fused operators, variance-driven budget
+// allocation across method groups) and wires it to a job-scoped budget
 // querier (lbs.ScopedQuerier), so concurrent jobs share the service's
-// budget and cache while each keeps its own cost meter and cap. The
+// budget and cache while each keeps its own cost meter and cap.
+// Parallel jobs (Parallelism > 1) keep the fork/merge driver. The
 // HTTP layer of internal/httpapi exposes the manager as
 // POST /v1/estimate, GET/DELETE /v1/jobs/{id} and the NDJSON trace
 // stream GET /v1/jobs/{id}/trace.
@@ -33,9 +36,10 @@ var ErrTableFull = errors.New("jobs: job table full")
 
 // Method names of the estimation algorithms a job can run.
 const (
-	MethodLR  = "lr"  // LR-LBS-AGG (§3), all error-reduction devices on
-	MethodLNR = "lnr" // LNR-LBS-AGG (§4)
-	MethodNNO = "nno" // LR-LBS-NNO baseline (Dalvi et al., KDD 2011)
+	MethodAuto = "auto" // let the planner's cost model choose per group
+	MethodLR   = "lr"   // LR-LBS-AGG (§3), all error-reduction devices on
+	MethodLNR  = "lnr"  // LNR-LBS-AGG (§4)
+	MethodNNO  = "nno"  // LR-LBS-NNO baseline (Dalvi et al., KDD 2011)
 )
 
 // State is a job's lifecycle phase.
@@ -67,7 +71,10 @@ type RunOptions struct {
 	// stopping rule (0 = unlimited).
 	MaxQueries int64 `json:"max_queries,omitempty"`
 	// TargetCI stops the run once every aggregate's 95 % confidence
-	// half-width falls below rel × |estimate| (0 disables).
+	// half-width falls below rel × |estimate| (0 disables). On the
+	// planner path (Parallelism ≤ 1) the rule is per requested
+	// aggregate — AVG specs converge on their delta-method ratio CI —
+	// and retires each method group independently.
 	TargetCI float64 `json:"target_ci,omitempty"`
 	// Parallelism draws samples from n concurrent estimator forks.
 	Parallelism int `json:"parallelism,omitempty"`
@@ -78,7 +85,9 @@ type RunOptions struct {
 // Spec is a declarative estimation request: everything needed to run
 // the paper's algorithms server-side, expressible as JSON.
 type Spec struct {
-	// Method selects the algorithm: lr | lnr | nno.
+	// Method selects the algorithm: auto | lr | lnr | nno. "auto" lets
+	// the query planner's cost model choose per method group (over this
+	// server's location-returned backend it resolves to lr).
 	Method string `json:"method"`
 	// Seed drives the job's randomness; the same seed, spec and budget
 	// reproduce the same estimates.
@@ -99,11 +108,11 @@ const (
 // Validate rejects malformed specs (before any compilation).
 func (s *Spec) Validate() error {
 	switch s.Method {
-	case MethodLR, MethodLNR, MethodNNO:
+	case MethodAuto, MethodLR, MethodLNR, MethodNNO:
 	case "":
-		return fmt.Errorf("jobs: missing method (want lr|lnr|nno)")
+		return fmt.Errorf("jobs: missing method (want auto|lr|lnr|nno)")
 	default:
-		return fmt.Errorf("jobs: unknown method %q (want lr|lnr|nno)", s.Method)
+		return fmt.Errorf("jobs: unknown method %q (want auto|lr|lnr|nno)", s.Method)
 	}
 	if len(s.Aggregates) == 0 {
 		return fmt.Errorf("jobs: no aggregates given")
@@ -182,6 +191,39 @@ type TraceEvent struct {
 	Estimate JSONFloat `json:"estimate"`
 }
 
+// PlanGroupView is the wire form of one method group of a planned
+// job: which specs it answers, with which algorithm and seed, and its
+// live sample/query account.
+type PlanGroupView struct {
+	Method string `json:"method"`
+	Seed   int64  `json:"seed"`
+	// Specs are indices into the request's aggregates list.
+	Specs []int `json:"specs"`
+	// Aggs names the fused physical aggregates the group runs.
+	Aggs []string `json:"aggs"`
+	// Preds is the group's count of distinct canonical predicates.
+	Preds         int     `json:"preds"`
+	NeedsLocation bool    `json:"needs_location,omitempty"`
+	CostPerSample float64 `json:"cost_per_sample"`
+	Samples       int     `json:"samples"`
+	Queries       int64   `json:"queries"`
+	CIMet         bool    `json:"ci_met,omitempty"`
+}
+
+// PlanView is the wire form of a job's compiled query plan: present on
+// jobs run through the multi-aggregate planner (Parallelism ≤ 1),
+// absent on legacy parallel jobs. Purely additive to the job view, so
+// pre-planner clients keep decoding.
+type PlanView struct {
+	// Preds is the number of distinct canonical predicates across the
+	// whole batch (requested aggregates ≥ Preds means sharing).
+	Preds  int             `json:"preds"`
+	Groups []PlanGroupView `json:"groups"`
+	// Replans counts the checkpoint-boundary budget re-allocations
+	// (recorded once the job settles; multi-group plans only).
+	Replans int `json:"replans,omitempty"`
+}
+
 // View is a JSON-marshalable snapshot of a job.
 type View struct {
 	ID      string `json:"id"`
@@ -195,10 +237,16 @@ type View struct {
 	// TraceLen is the number of trace events recorded so far.
 	TraceLen int `json:"trace_len"`
 	// Results are final when State is done, the latest partials while
-	// running or canceled mid-run.
-	Results    []ResultView `json:"results,omitempty"`
-	CreatedAt  time.Time    `json:"created_at"`
-	FinishedAt *time.Time   `json:"finished_at,omitempty"`
+	// running or canceled mid-run. On the planner path there is one
+	// entry per requested aggregate (its per-aggregate status: AVG specs
+	// report their finished ratio, Samples/Queries the owning group's
+	// account).
+	Results []ResultView `json:"results,omitempty"`
+	// Plan describes the compiled multi-aggregate plan (planner path
+	// only).
+	Plan       *PlanView  `json:"plan,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
 }
 
 // ManagerOptions configures a Manager.
@@ -243,7 +291,8 @@ type Job struct {
 	ID   string
 	Spec Spec
 
-	plan   *core.AggPlan
+	plan   *core.AggPlan   // legacy path (Parallelism > 1)
+	qplan  *core.QueryPlan // planner path (Parallelism ≤ 1)
 	scoped *lbs.ScopedQuerier
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -252,7 +301,11 @@ type Job struct {
 	state   State
 	err     error
 	results []core.Result // finished: plan-level results
-	partial []core.Result // running: physical partials from progress
+	partial []core.Result // legacy running: physical partials from progress
+	// planner-path run state, fed by onPlanProgress.
+	planPartial []core.Result     // per requested aggregate
+	planStats   []planGroupStat   // per method group, live
+	planDone    *core.BatchResult // final batch account
 	// trace is a bounded window of the newest events; traceBase is the
 	// absolute index of trace[0], so followers address events by
 	// absolute position even after old ones are trimmed.
@@ -261,6 +314,12 @@ type Job struct {
 	traceWake  chan struct{} // closed+replaced on every trace append / finish
 	createdAt  time.Time
 	finishedAt time.Time
+}
+
+// planGroupStat is one method group's live sample/query account.
+type planGroupStat struct {
+	Samples int
+	Queries int64
 }
 
 // maxTraceEvents bounds the per-job trace memory: a job is a server
@@ -278,12 +337,32 @@ func (m *Manager) Create(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	plan, err := core.CompilePlan(spec.Aggregates)
-	if err != nil {
-		return nil, fmt.Errorf("jobs: %w", err)
-	}
 	if spec.Options.MaxQueries == 0 && m.opts.DefaultMaxQueries > 0 {
 		spec.Options.MaxQueries = m.opts.DefaultMaxQueries
+	}
+	// Parallelism ≤ 1 runs through the multi-aggregate query planner:
+	// predicates dedup across the batch, same-selection aggregates fuse,
+	// and the job's budget is re-allocated across method groups by
+	// observed variance. Parallel jobs keep the legacy fork/merge driver
+	// (the planner's fused aggregates share per-record memos and are not
+	// safe for concurrent samplers); "auto" there resolves to lr.
+	var plan *core.AggPlan
+	var qplan *core.QueryPlan
+	var err error
+	if spec.Options.Parallelism > 1 {
+		plan, err = core.CompilePlan(spec.Aggregates)
+	} else {
+		qplan, err = core.PlanBatch(spec.Aggregates, core.PlanOptions{
+			Method:     spec.Method,
+			Seed:       spec.Seed,
+			MaxQueries: spec.Options.MaxQueries,
+			MaxSamples: spec.Options.MaxSamples,
+			TargetCI:   spec.Options.TargetCI,
+			Batch:      spec.Options.Batch,
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
 	}
 
 	m.mu.Lock()
@@ -299,6 +378,7 @@ func (m *Manager) Create(spec Spec) (*Job, error) {
 		ID:        id,
 		Spec:      spec,
 		plan:      plan,
+		qplan:     qplan,
 		scoped:    lbs.NewScopedQuerier(m.backend, spec.Options.MaxQueries),
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -385,8 +465,9 @@ func (m *Manager) Counts() map[State]int {
 	return out
 }
 
-// runOptions translates the wire options into Driver options, always
-// including the progress hook that feeds the trace and partials.
+// runOptions translates the wire options into Driver options for the
+// legacy (Parallelism > 1) path, always including the progress hook
+// that feeds the trace and partials.
 func (j *Job) runOptions() []core.RunOption {
 	o := j.Spec.Options
 	// The job keeps its own bounded trace window fed by progress;
@@ -419,7 +500,10 @@ func buildEstimator(method string, svc core.Oracle, seed int64) core.Estimator {
 		return core.NewLNRAggregator(svc, core.LNROptions{Seed: seed})
 	case MethodNNO:
 		return core.NewNNOBaseline(svc, core.NNOOptions{Seed: seed})
-	default: // MethodLR — Spec.Validate already rejected everything else
+	default:
+		// MethodLR, or MethodAuto on the legacy parallel path (the
+		// backend returns locations, so auto resolves to lr — the same
+		// choice the planner's cost model makes).
 		return core.NewLRAggregator(svc, core.DefaultLROptions(seed))
 	}
 }
@@ -427,6 +511,10 @@ func buildEstimator(method string, svc core.Oracle, seed int64) core.Estimator {
 // run executes the estimation and settles the job.
 func (j *Job) run(ctx context.Context) {
 	defer close(j.done)
+	if j.qplan != nil {
+		j.runPlanned(ctx)
+		return
+	}
 	est := buildEstimator(j.Spec.Method, j.scoped, j.Spec.Seed)
 	results, err := core.Run(ctx, est, j.plan.Aggs, j.runOptions()...)
 
@@ -443,6 +531,35 @@ func (j *Job) run(ctx context.Context) {
 	case ctx.Err() != nil:
 		// Canceled: the driver returned whatever samples completed
 		// (err != nil only when not even one did).
+		j.state = StateCanceled
+		j.err = err
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+	}
+}
+
+// runPlanned executes the job's QueryPlan (the planner path) and
+// settles the job with the same state rules as the legacy driver.
+func (j *Job) runPlanned(ctx context.Context) {
+	br, err := j.qplan.Execute(ctx, j.scoped, j.onPlanProgress)
+
+	j.mu.Lock()
+	defer func() {
+		j.finishedAt = time.Now()
+		j.wakeLocked()
+		j.mu.Unlock()
+	}()
+	if br != nil {
+		j.results = br.Results
+		j.planDone = br
+	}
+	switch {
+	case ctx.Err() != nil:
+		// Canceled: Execute returned the completed samples as partials
+		// (err != nil only when not even one finished).
 		j.state = StateCanceled
 		j.err = err
 	case err != nil:
@@ -477,15 +594,52 @@ func (j *Job) onProgress(points []core.TracePoint) {
 			Queries:  tp.Queries,
 		}
 	}
-	// Trim the window in chunks (half at a time) so long jobs do a
-	// memmove every ~8k events instead of every append.
+	j.trimTraceLocked()
+	j.wakeLocked()
+}
+
+// onPlanProgress is Execute's per-sample callback on the planner path:
+// one trace event per fused physical aggregate of the sampled group,
+// plus the group's finished per-spec partials. It runs on the job's
+// estimation goroutine.
+func (j *Job) onPlanProgress(pp core.PlanProgress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.planPartial == nil {
+		j.planPartial = make([]core.Result, len(j.qplan.Specs))
+		for i := range j.planPartial {
+			j.planPartial[i] = core.Result{Name: j.qplan.Specs[i].Name()}
+		}
+		j.planStats = make([]planGroupStat, len(j.qplan.Groups))
+	}
+	grp := &j.qplan.Groups[pp.Group]
+	for i, tp := range pp.Points {
+		j.trace = append(j.trace, TraceEvent{
+			Agg:      grp.Aggs[i].Name,
+			Queries:  tp.Queries,
+			Samples:  tp.Samples,
+			Estimate: JSONFloat(tp.Estimate),
+		})
+	}
+	// pp's slices are reused between samples; copy the spec results out.
+	for li, si := range pp.Specs {
+		j.planPartial[si] = pp.Partial[li]
+	}
+	j.planStats[pp.Group] = planGroupStat{Samples: pp.GroupSamples, Queries: pp.GroupQueries}
+	j.trimTraceLocked()
+	j.wakeLocked()
+}
+
+// trimTraceLocked trims the trace window in chunks (half at a time) so
+// long jobs do a memmove every ~8k events instead of every append;
+// callers hold j.mu.
+func (j *Job) trimTraceLocked() {
 	if len(j.trace) > maxTraceEvents {
 		drop := len(j.trace) - maxTraceEvents/2
 		n := copy(j.trace, j.trace[drop:])
 		j.trace = j.trace[:n]
 		j.traceBase += drop
 	}
-	j.wakeLocked()
 }
 
 // wakeLocked wakes every trace follower; callers hold j.mu.
@@ -528,8 +682,13 @@ func (j *Job) Snapshot() View {
 		v.FinishedAt = &t
 	}
 	results := j.results
-	if results == nil && j.partial != nil {
-		results = j.plan.Finish(j.partial)
+	if results == nil {
+		switch {
+		case j.qplan == nil && j.partial != nil:
+			results = j.plan.Finish(j.partial)
+		case j.qplan != nil && j.planPartial != nil:
+			results = j.planPartial
+		}
 	}
 	for _, r := range results {
 		v.Results = append(v.Results, resultViewOf(r))
@@ -537,7 +696,56 @@ func (j *Job) Snapshot() View {
 	if len(results) > 0 {
 		v.Samples = results[0].Samples
 	}
+	if j.qplan != nil {
+		v.Plan = j.planViewLocked()
+		// With several method groups each spec reports its own group's
+		// samples; the job-level count is the total across groups.
+		v.Samples = 0
+		if j.planDone != nil {
+			v.Samples = j.planDone.Samples
+		} else {
+			for _, st := range j.planStats {
+				v.Samples += st.Samples
+			}
+		}
+	}
 	return v
+}
+
+// planViewLocked assembles the wire view of the job's query plan from
+// the compiled plan and the live (or final) group accounts; callers
+// hold j.mu.
+func (j *Job) planViewLocked() *PlanView {
+	p := j.qplan
+	pv := &PlanView{Preds: p.Preds}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		names := make([]string, len(g.Aggs))
+		for i := range g.Aggs {
+			names[i] = g.Aggs[i].Name
+		}
+		gv := PlanGroupView{
+			Method:        g.Method,
+			Seed:          g.Seed,
+			Specs:         append([]int(nil), g.Specs...),
+			Aggs:          names,
+			Preds:         len(g.PredHashes),
+			NeedsLocation: g.NeedsLocation,
+			CostPerSample: g.CostPerSample,
+		}
+		switch {
+		case j.planDone != nil:
+			gr := j.planDone.Groups[gi]
+			gv.Samples, gv.Queries, gv.CIMet = gr.Samples, gr.Queries, gr.CIMet
+		case j.planStats != nil:
+			gv.Samples, gv.Queries = j.planStats[gi].Samples, j.planStats[gi].Queries
+		}
+		pv.Groups = append(pv.Groups, gv)
+	}
+	if j.planDone != nil {
+		pv.Replans = len(j.planDone.Replans)
+	}
+	return pv
 }
 
 // TraceFrom copies the trace events at absolute index ≥ from,

@@ -276,6 +276,106 @@ func TestManagerTableFull(t *testing.T) {
 	}
 }
 
+func TestJobAvgZeroCountNullOnWire(t *testing.T) {
+	// An AVG whose selection matches nothing has an undefined ratio: the
+	// job must finish done (not failed) and the wire view must carry
+	// estimate, std_err and ci95 as JSON null — never NaN or a fake CI.
+	m := NewManager(testBackend(t, 0), ManagerOptions{})
+	j, err := m.Create(Spec{
+		Method: MethodLR,
+		Seed:   11,
+		Aggregates: []core.AggSpec{
+			core.AvgSpec("enrollment").WithWhere(core.AttrCmp("enrollment", "lt", -1)).WithLabel("avg_none"),
+		},
+		Options: RunOptions{MaxSamples: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitSettled(t, j)
+	if v.State != StateDone {
+		t.Fatalf("state %s (err %q), want done", v.State, v.Error)
+	}
+	if len(v.Results) != 1 || v.Results[0].Name != "avg_none" {
+		t.Fatalf("results %+v, want one named avg_none", v.Results)
+	}
+	r := v.Results[0]
+	if !math.IsNaN(float64(r.Estimate)) || !math.IsNaN(float64(r.StdErr)) || !math.IsNaN(float64(r.CI95)) {
+		t.Fatalf("undefined AVG should be NaN across the board, got %+v", r)
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("view must marshal: %v", err)
+	}
+	for _, key := range []string{`"estimate":null`, `"std_err":null`, `"ci95":null`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("wire view missing %s: %s", key, data)
+		}
+	}
+}
+
+func TestJobViewCarriesPlan(t *testing.T) {
+	// Planner-path jobs expose their compiled plan: fused physical
+	// aggregates, deduped predicates, per-group method and account.
+	where := core.TagEq("type", "public")
+	m := NewManager(testBackend(t, 0), ManagerOptions{})
+	j, err := m.Create(Spec{
+		Method: MethodAuto,
+		Seed:   3,
+		Aggregates: []core.AggSpec{
+			core.CountSpec().WithWhere(where),
+			core.SumSpec("enrollment").WithWhere(where),
+			core.AvgSpec("enrollment").WithWhere(where),
+		},
+		Options: RunOptions{MaxSamples: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitSettled(t, j)
+	if v.State != StateDone {
+		t.Fatalf("state %s (err %q), want done", v.State, v.Error)
+	}
+	if v.Plan == nil {
+		t.Fatal("planner-path job view has no plan")
+	}
+	if v.Plan.Preds != 1 {
+		t.Fatalf("plan preds = %d, want 1 (one shared selection)", v.Plan.Preds)
+	}
+	if len(v.Plan.Groups) != 1 {
+		t.Fatalf("plan groups = %d, want 1", len(v.Plan.Groups))
+	}
+	g := v.Plan.Groups[0]
+	if g.Method != MethodLR {
+		t.Fatalf("auto over a location-returned backend picked %q, want lr", g.Method)
+	}
+	if g.Seed != 3 {
+		t.Fatalf("group 0 seed = %d, want the spec seed 3", g.Seed)
+	}
+	// COUNT, SUM and AVG over one selection fuse to 2 physicals.
+	if len(g.Aggs) != 2 {
+		t.Fatalf("fused aggs %v, want 2 (shared SUM and COUNT)", g.Aggs)
+	}
+	if len(g.Specs) != 3 || g.Samples != 8 || g.Queries == 0 || !sameSamples(v, 8) {
+		t.Fatalf("group account off: %+v (view samples %d)", g, v.Samples)
+	}
+	// Parallel jobs take the legacy driver and carry no plan.
+	jp, err := m.Create(Spec{
+		Method:     MethodLR,
+		Seed:       3,
+		Aggregates: []core.AggSpec{core.CountSpec()},
+		Options:    RunOptions{MaxSamples: 8, Parallelism: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp := waitSettled(t, jp); vp.Plan != nil {
+		t.Fatalf("legacy parallel job unexpectedly carries a plan: %+v", vp.Plan)
+	}
+}
+
+func sameSamples(v View, want int) bool { return v.Samples == want }
+
 func TestJSONFloatNaN(t *testing.T) {
 	v := View{Results: []ResultView{{Name: "AVG(x)", Estimate: JSONFloat(math.NaN())}}}
 	data, err := json.Marshal(v)
