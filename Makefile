@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json bench-planner bench-planner-json
+.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json bench-planner bench-planner-json bench-chaos bench-chaos-json
 
 all: fmt vet build test
 
@@ -104,6 +104,24 @@ bench-planner-json:
 	$(GO) test -run '^$$' -bench '$(PLANNER_BENCH)' -benchtime 1x ./internal/core > bench_planner.out
 	$(GO) run ./cmd/benchjson -o BENCH_planner.json < bench_planner.out
 	@rm -f bench_planner.out
+
+# The chaos suite: a full LR COUNT estimation over a faulted 4-shard
+# federation at each injected fault rate (0 = clean baseline),
+# reporting estimation error, p50/p99 per-query latency and the
+# router's retry/partial totals. Wall time is sleep-dominated (the
+# injected latency), not CPU.
+CHAOS_BENCH = BenchmarkChaos
+
+bench-chaos:
+	$(GO) test -run '^$$' -bench '$(CHAOS_BENCH)' -benchtime 1x ./internal/experiments
+
+# bench-chaos-json records the chaos suite in BENCH_chaos.json (same
+# baseline-preserving layout as bench-json; self-primes on first run).
+# Seeds are fixed, so -benchtime 1x is a measurement, not noise.
+bench-chaos-json:
+	$(GO) test -run '^$$' -bench '$(CHAOS_BENCH)' -benchtime 1x ./internal/experiments > bench_chaos.out
+	$(GO) run ./cmd/benchjson -o BENCH_chaos.json < bench_chaos.out
+	@rm -f bench_chaos.out
 
 # bench-smoke compiles and runs every benchmark once — the CI guard
 # that keeps bench code from rotting.

@@ -201,7 +201,7 @@ func runPlanLocal(ctx context.Context, cfg experiments.Config, method, aggsJSON 
 
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "experiment id: fig11..fig21, table1, live, or all")
+		exp    = flag.String("experiment", "all", "experiment id: fig11..fig21, table1, live, chaos, or all")
 		scale  = flag.String("scale", "quick", `scale preset: "quick" or "paper"`)
 		n      = flag.Int("n", 0, "dataset size override")
 		runs   = flag.Int("runs", 0, "repetitions override")
@@ -314,6 +314,7 @@ func main() {
 		"fig20": experiments.Fig20,
 		"fig21": experiments.Fig21,
 		"live":  experiments.LiveChurn,
+		"chaos": experiments.Chaos,
 	}
 
 	ids := []string{*exp}
@@ -361,7 +362,7 @@ func main() {
 				fail(id, err)
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig11..fig21, table1, mse, live, all)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig11..fig21, table1, mse, live, chaos, all)\n", id)
 			os.Exit(2)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))

@@ -263,6 +263,12 @@ type TracePoint struct {
 	Queries  int64
 	Samples  int
 	Estimate float64
+	// Degraded marks a sample whose queries (or whose batch's queries)
+	// were answered by a partial federation — a shard was down or
+	// skipped, so the merged answers may have missed candidates. The
+	// estimate remains usable; the flag lets consumers weigh or audit
+	// the contaminated stretch of the trace.
+	Degraded bool
 }
 
 // Result is the outcome of an estimation run.
@@ -280,6 +286,9 @@ type Result struct {
 	Samples int
 	// Queries is the number of kNN queries spent.
 	Queries int64
+	// DegradedSamples counts samples drawn while the service answered
+	// degraded (see TracePoint.Degraded); 0 for a healthy run.
+	DegradedSamples int
 	// Trace records the running estimate after every sample.
 	Trace []TracePoint
 }

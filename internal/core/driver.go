@@ -166,6 +166,25 @@ func stopErr(ctx context.Context, err error) bool {
 		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
+// degradedCount walks the service's wrapper chain (lbs.Wrapper) for a
+// layer reporting how many queries it answered degraded — a federation
+// router's DegradedCount, or a TolerantQuerier's absorbed annotations.
+// 0 when no layer tracks degradation (every non-federated stack).
+func degradedCount(svc Oracle) int64 {
+	cur := any(svc)
+	for cur != nil {
+		if dc, ok := cur.(interface{ DegradedCount() int64 }); ok {
+			return dc.DegradedCount()
+		}
+		w, ok := cur.(lbs.Wrapper)
+		if !ok {
+			return 0
+		}
+		cur = w.Inner()
+	}
+	return 0
+}
+
 // ciMet reports whether every accumulator satisfies the relative
 // confidence target.
 func ciMet(accs []Accumulator, rel float64) bool {
@@ -184,7 +203,7 @@ func ciMet(accs []Accumulator, rel float64) bool {
 }
 
 // finalize assembles Results from accumulator states.
-func finalize(aggs []Aggregate, accs []Accumulator, traces [][]TracePoint, queries int64) []Result {
+func finalize(aggs []Aggregate, accs []Accumulator, traces [][]TracePoint, queries int64, degraded int) []Result {
 	results := make([]Result, len(aggs))
 	for j := range aggs {
 		results[j].Name = aggs[j].Name
@@ -193,6 +212,7 @@ func finalize(aggs []Aggregate, accs []Accumulator, traces [][]TracePoint, queri
 		results[j].CI95 = accs[j].CI95()
 		results[j].Samples = accs[j].N()
 		results[j].Queries = queries
+		results[j].DegradedSamples = degraded
 		if traces != nil {
 			results[j].Trace = traces[j]
 		}
@@ -208,6 +228,7 @@ func (d *Driver) runSerial(ctx context.Context, aggs []Aggregate, cfg runConfig)
 	traces := make([][]TracePoint, len(aggs))
 	startQ := svc.QueryCount()
 	points := make([]TracePoint, len(aggs))
+	degradedSamples := 0
 	for {
 		if cfg.maxSamples > 0 && accs[0].N() >= cfg.maxSamples {
 			break
@@ -224,12 +245,19 @@ func (d *Driver) runSerial(ctx context.Context, aggs []Aggregate, cfg runConfig)
 				m = rem
 			}
 		}
+		deg0 := degradedCount(svc)
 		batchVals, err := stepBatch(ctx, d.Est, aggs, m)
 		q := svc.QueryCount() - startQ
+		// Degradation is attributed at batch grain: any partial answer
+		// during the batch marks every sample the batch completed.
+		degraded := degradedCount(svc) > deg0
 		for _, vals := range batchVals {
+			if degraded {
+				degradedSamples++
+			}
 			for j := range aggs {
 				accs[j].Add(vals[j])
-				points[j] = TracePoint{Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean()}
+				points[j] = TracePoint{Queries: q, Samples: accs[j].N(), Estimate: accs[j].Mean(), Degraded: degraded}
 				if !cfg.noTrace {
 					traces[j] = append(traces[j], points[j])
 				}
@@ -254,7 +282,7 @@ func (d *Driver) runSerial(ctx context.Context, aggs []Aggregate, cfg runConfig)
 		}
 		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
 	}
-	return finalize(aggs, accs, traces, svc.QueryCount()-startQ), nil
+	return finalize(aggs, accs, traces, svc.QueryCount()-startQ, degradedSamples), nil
 }
 
 // sampleMsg carries one completed sample from a worker to the
@@ -262,6 +290,11 @@ func (d *Driver) runSerial(ctx context.Context, aggs []Aggregate, cfg runConfig)
 type sampleMsg struct {
 	vals    []float64
 	queries int64 // run-relative query count right after the sample
+	// degraded marks the sample's batch as drawn while the shared
+	// service answered degraded. Attribution across concurrent workers
+	// is coarse (a partial answer in flight may mark another worker's
+	// overlapping batch too) — conservative in the safe direction.
+	degraded bool
 }
 
 // runParallel executes cfg.parallelism workers, each over an
@@ -319,15 +352,17 @@ func (d *Driver) runParallel(ctx context.Context, aggs []Aggregate, cfg runConfi
 						m -= int(over)
 					}
 				}
+				deg0 := degradedCount(svc)
 				batchVals, err := stepBatch(runCtx, est, aggs, m)
 				q := svc.QueryCount() - startQ
+				degraded := degradedCount(svc) > deg0
 				for _, vals := range batchVals {
 					// Hand the sample to the collector before folding it
 					// in, so a cancellation between the two cannot produce
 					// a merged state the trace/progress stream never saw:
 					// a sample either reaches both or neither.
 					select {
-					case samples <- sampleMsg{vals: vals, queries: q}:
+					case samples <- sampleMsg{vals: vals, queries: q, degraded: degraded}:
 					case <-runCtx.Done():
 						return
 					}
@@ -361,10 +396,14 @@ func (d *Driver) runParallel(ctx context.Context, aggs []Aggregate, cfg runConfi
 	monitor := make([]Accumulator, len(aggs))
 	traces := make([][]TracePoint, len(aggs))
 	points := make([]TracePoint, len(aggs))
+	degradedSamples := 0
 	for msg := range samples {
+		if msg.degraded {
+			degradedSamples++
+		}
 		for j := range aggs {
 			monitor[j].Add(msg.vals[j])
-			points[j] = TracePoint{Queries: msg.queries, Samples: monitor[j].N(), Estimate: monitor[j].Mean()}
+			points[j] = TracePoint{Queries: msg.queries, Samples: monitor[j].N(), Estimate: monitor[j].Mean(), Degraded: msg.degraded}
 			if !cfg.noTrace {
 				traces[j] = append(traces[j], points[j])
 			}
@@ -393,5 +432,5 @@ func (d *Driver) runParallel(ctx context.Context, aggs []Aggregate, cfg runConfi
 		}
 		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
 	}
-	return finalize(aggs, final, traces, svc.QueryCount()-startQ), nil
+	return finalize(aggs, final, traces, svc.QueryCount()-startQ, degradedSamples), nil
 }

@@ -34,6 +34,9 @@ type PlanProgress struct {
 	// GroupSamples and GroupQueries are the group's own totals so far.
 	GroupSamples int
 	GroupQueries int64
+	// Degraded marks the sample as drawn while the service answered
+	// degraded (see TracePoint.Degraded).
+	Degraded bool
 }
 
 // GroupAlloc is one group's slice of a checkpoint re-plan: its
@@ -89,16 +92,20 @@ type BatchResult struct {
 	// oracle spend.
 	Samples int
 	Queries int64
+	// DegradedSamples counts samples (across groups) drawn while the
+	// service answered degraded; 0 for a healthy run.
+	DegradedSamples int
 }
 
 // groupState is one group's mutable execution state.
 type groupState struct {
-	est     Estimator
-	accs    []Accumulator
-	samples int
-	queries int64
-	done    bool
-	ciMet   bool
+	est      Estimator
+	accs     []Accumulator
+	samples  int
+	queries  int64
+	degraded int
+	done     bool
+	ciMet    bool
 	// progress buffers, reused per sample.
 	points  []TracePoint
 	partial []Result
@@ -172,13 +179,13 @@ func (p *QueryPlan) groupCIMet(gi int, st *groupState) bool {
 }
 
 // emitProgress streams one completed sample.
-func (p *QueryPlan) emitProgress(gi int, st *groupState, q int64, progress func(PlanProgress)) {
+func (p *QueryPlan) emitProgress(gi int, st *groupState, q int64, degraded bool, progress func(PlanProgress)) {
 	if progress == nil {
 		return
 	}
 	grp := &p.Groups[gi]
 	for j := range grp.Aggs {
-		st.points[j] = TracePoint{Queries: q, Samples: st.accs[j].N(), Estimate: st.accs[j].Mean()}
+		st.points[j] = TracePoint{Queries: q, Samples: st.accs[j].N(), Estimate: st.accs[j].Mean(), Degraded: degraded}
 	}
 	for li := range grp.entries {
 		st.partial[li] = p.specResult(gi, li, st)
@@ -190,6 +197,7 @@ func (p *QueryPlan) emitProgress(gi int, st *groupState, q int64, progress func(
 		Partial:      st.partial,
 		GroupSamples: st.samples,
 		GroupQueries: st.queries,
+		Degraded:     degraded,
 	})
 }
 
@@ -326,16 +334,21 @@ func (p *QueryPlan) runGroupChunk(ctx context.Context, gi int, st *groupState, s
 			}
 		}
 		gStart := svc.QueryCount()
+		deg0 := degradedCount(svc)
 		batchVals, err := stepBatch(ctx, st.est, grp.Aggs, m)
 		st.queries += svc.QueryCount() - gStart
 		q := svc.QueryCount() - startQ
+		degraded := degradedCount(svc) > deg0
 		for _, vals := range batchVals {
 			for j := range grp.Aggs {
 				st.accs[j].Add(vals[j])
 			}
 			st.samples++
 			taken++
-			p.emitProgress(gi, st, q, progress)
+			if degraded {
+				st.degraded++
+			}
+			p.emitProgress(gi, st, q, degraded, progress)
 		}
 		if stopErr(ctx, err) {
 			*exhausted = true
@@ -420,12 +433,17 @@ func (p *QueryPlan) Execute(ctx context.Context, svc Oracle, progress func(PlanP
 		return nil, fmt.Errorf("core: budget exhausted before completing a single sample")
 	}
 
+	degradedTotal := 0
+	for i := range states {
+		degradedTotal += states[i].degraded
+	}
 	br := &BatchResult{
-		Results: make([]Result, len(p.Specs)),
-		Groups:  make([]GroupReport, len(p.Groups)),
-		Replans: replans,
-		Samples: total,
-		Queries: svc.QueryCount() - startQ,
+		Results:         make([]Result, len(p.Specs)),
+		Groups:          make([]GroupReport, len(p.Groups)),
+		Replans:         replans,
+		Samples:         total,
+		Queries:         svc.QueryCount() - startQ,
+		DegradedSamples: degradedTotal,
 	}
 	for gi := range p.Groups {
 		grp := &p.Groups[gi]
@@ -448,6 +466,7 @@ func (p *QueryPlan) Execute(ctx context.Context, svc Oracle, progress func(PlanP
 		}
 		for li, si := range grp.Specs {
 			br.Results[si] = p.specResult(gi, li, st)
+			br.Results[si].DegradedSamples = st.degraded
 		}
 	}
 	return br, nil

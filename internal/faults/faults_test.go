@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+func testInner() lbs.Querier {
+	return lbs.NewService(workload.USASchools(60, 1).DB, lbs.Options{K: 3})
+}
+
+// callSeq issues n single-point queries and records each call's
+// outcome class: "ok", "transient" or "down".
+func callSeq(t *testing.T, inj *Injector, n int) []string {
+	t.Helper()
+	ctx := context.Background()
+	q := geom.Pt(500, 500)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		_, err := inj.QueryLR(ctx, q, nil)
+		switch {
+		case err == nil:
+			out[i] = "ok"
+		case errors.Is(err, ErrDown):
+			out[i] = "down"
+		case lbs.IsTransient(err):
+			out[i] = "transient"
+		default:
+			t.Fatalf("call %d: unexpected error class: %v", i, err)
+		}
+	}
+	return out
+}
+
+// TestDeterministicSchedule pins the injector's core guarantee: the
+// same seed replays the exact same fault sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	spec := Spec{Seed: 7, TransientRate: 0.3}
+	a := callSeq(t, New(testInner(), spec), 200)
+	b := callSeq(t, New(testInner(), spec), 200)
+	transients := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged: %s vs %s", i, a[i], b[i])
+		}
+		if a[i] == "transient" {
+			transients++
+		}
+	}
+	if transients < 20 || transients > 120 {
+		t.Fatalf("rate 0.3 over 200 calls injected %d transients", transients)
+	}
+}
+
+// TestTransientEvery pins the deterministic fully-recovering schedule:
+// calls 0, n, 2n… fail exactly once each, so an immediate retry (the
+// next call) always succeeds.
+func TestTransientEvery(t *testing.T) {
+	seq := callSeq(t, New(testInner(), Spec{TransientEvery: 3}), 10)
+	for i, got := range seq {
+		want := "ok"
+		if i%3 == 0 {
+			want = "transient"
+		}
+		if got != want {
+			t.Fatalf("call %d: %s, want %s (seq %v)", i, got, want, seq)
+		}
+	}
+}
+
+// TestDownWindow pins the crash-recover schedule: down for exactly
+// [DownAfter, DownAfter+DownFor), alive before and after.
+func TestDownWindow(t *testing.T) {
+	seq := callSeq(t, New(testInner(), Spec{DownAfter: 3, DownFor: 2}), 8)
+	want := []string{"ok", "ok", "ok", "down", "down", "ok", "ok", "ok"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("call %d: %s, want %s (seq %v)", i, seq[i], want[i], seq)
+		}
+	}
+	// DownFor 0 with DownAfter > 0: permanent death.
+	seq = callSeq(t, New(testInner(), Spec{DownAfter: 2}), 6)
+	for i := 2; i < 6; i++ {
+		if seq[i] != "down" {
+			t.Fatalf("permanent death: call %d %s (seq %v)", i, seq[i], seq)
+		}
+	}
+}
+
+// TestKillRevive pins the mid-run switches: Kill takes effect on the
+// next call, Revive restores service and cancels an elapsed scheduled
+// outage so the shard actually comes back.
+func TestKillRevive(t *testing.T) {
+	ctx := context.Background()
+	q := geom.Pt(500, 500)
+	inj := New(testInner(), Spec{})
+	if _, err := inj.QueryLR(ctx, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	inj.Kill()
+	if !inj.Down() {
+		t.Fatal("killed injector reports up")
+	}
+	if _, err := inj.QueryLR(ctx, q, nil); !errors.Is(err, ErrDown) {
+		t.Fatalf("killed shard answered: %v", err)
+	}
+	inj.Revive()
+	if _, err := inj.QueryLR(ctx, q, nil); err != nil {
+		t.Fatalf("revived shard refused: %v", err)
+	}
+
+	// Revive inside an elapsed scheduled outage cancels the schedule.
+	inj = New(testInner(), Spec{DownAfter: 1})
+	callSeq(t, inj, 3) // calls 1,2 die
+	inj.Revive()
+	if _, err := inj.QueryLR(ctx, q, nil); err != nil {
+		t.Fatalf("revive did not cancel the scheduled outage: %v", err)
+	}
+}
+
+// TestDuplicateDelivery pins at-least-once mode: the inner querier is
+// invoked twice per duplicated delivery, one answer returns.
+func TestDuplicateDelivery(t *testing.T) {
+	inner := testInner()
+	inj := New(inner, Spec{DuplicateRate: 1})
+	const n = 5
+	seq := callSeq(t, inj, n)
+	for i, s := range seq {
+		if s != "ok" {
+			t.Fatalf("call %d: %s", i, s)
+		}
+	}
+	if got := inner.QueryCount(); got != 2*n {
+		t.Fatalf("inner answered %d physical calls for %d deliveries, want %d", got, n, 2*n)
+	}
+	if st := inj.Stats(); st.Duplicates != n || st.Calls != n {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestLatencyInjection pins that injected latency actually delays the
+// call and honors cancellation.
+func TestLatencyInjection(t *testing.T) {
+	inj := New(testInner(), Spec{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := inj.QueryLR(context.Background(), geom.Pt(500, 500), nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("call returned in %v, injected 20ms", d)
+	}
+	// A canceled caller does not sit out the sleep.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inj = New(testInner(), Spec{Latency: time.Hour})
+	if _, err := inj.QueryLR(ctx, geom.Pt(500, 500), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestErrDownNotTransient pins the class split the breaker relies on:
+// death is not retryable, injected transients are.
+func TestErrDownNotTransient(t *testing.T) {
+	if lbs.IsTransient(ErrDown) {
+		t.Fatal("ErrDown classified transient")
+	}
+	if !lbs.IsTransient(errTransient) {
+		t.Fatal("injected transient not classified transient")
+	}
+}
+
+// TestParseSpec round-trips every key and rejects malformed input.
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=7,transient=0.05,every=4,down-after=500,down-for=200,latency=2ms,sigma=0.6,slow=3,dup=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Seed: 7, TransientRate: 0.05, TransientEvery: 4,
+		DownAfter: 500, DownFor: 200,
+		Latency: 2 * time.Millisecond, LatencySigma: 0.6, SlowFactor: 3,
+		DuplicateRate: 0.01,
+	}
+	if spec != want {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+	if s, err := ParseSpec("  "); err != nil || s != (Spec{}) {
+		t.Fatalf("blank spec: %+v, %v", s, err)
+	}
+	for _, bad := range []string{"nope=1", "transient", "latency=fast", "transient=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

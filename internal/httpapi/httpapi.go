@@ -106,6 +106,44 @@ type errorResponse struct {
 	Code string `json:"code,omitempty"`
 }
 
+// Partial-answer headers: a federated backend that lost a shard still
+// answers 200 from the survivors, carrying the lbs.PartialError
+// annotation as response headers so remote callers keep the degraded-
+// mode contract. Degraded counts positions answered from a partial
+// federation, Dropped positions with no answer (their wire entries are
+// null), Missing the member subqueries lost or skipped.
+const (
+	headerPartialDegraded = "X-Lbs-Partial-Degraded"
+	headerPartialDropped  = "X-Lbs-Partial-Dropped"
+	headerPartialMissing  = "X-Lbs-Partial-Missing"
+)
+
+// setPartialHeaders renders a partial annotation onto a 200 response.
+func setPartialHeaders(w http.ResponseWriter, pe *lbs.PartialError) {
+	h := w.Header()
+	h.Set(headerPartialDegraded, strconv.Itoa(pe.Degraded))
+	if pe.Dropped > 0 {
+		h.Set(headerPartialDropped, strconv.Itoa(pe.Dropped))
+	}
+	if pe.Missing > 0 {
+		h.Set(headerPartialMissing, strconv.Itoa(pe.Missing))
+	}
+}
+
+// partialOfHeaders reconstructs the annotation client-side; nil when
+// the response carries none.
+func partialOfHeaders(h http.Header) *lbs.PartialError {
+	deg := h.Get(headerPartialDegraded)
+	if deg == "" {
+		return nil
+	}
+	pe := &lbs.PartialError{}
+	pe.Degraded, _ = strconv.Atoi(deg)
+	pe.Dropped, _ = strconv.Atoi(h.Get(headerPartialDropped))
+	pe.Missing, _ = strconv.Atoi(h.Get(headerPartialMissing))
+	return pe
+}
+
 // batch wire types
 
 type wirePoint struct {
@@ -157,6 +195,8 @@ type Server struct {
 	mutator live.Mutator
 	jobs    *jobs.Manager
 	mux     *http.ServeMux
+	// partials counts answers served degraded (partial federation).
+	partials atomic.Int64
 }
 
 // ServerOptions configures the optional subsystems of a Server.
@@ -255,7 +295,10 @@ func (s *Server) handleLR(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	recs, err := s.svc.QueryLR(r.Context(), p, sel.filter())
-	if err != nil {
+	if pe, ok := lbs.AsPartial(err); ok {
+		s.partials.Add(1)
+		setPartialHeaders(w, pe)
+	} else if err != nil {
 		writeQueryError(w, err)
 		return
 	}
@@ -283,7 +326,10 @@ func (s *Server) handleLNR(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	recs, err := s.svc.QueryLNR(r.Context(), p, sel.filter())
-	if err != nil {
+	if pe, ok := lbs.AsPartial(err); ok {
+		s.partials.Add(1)
+		setPartialHeaders(w, pe)
+	} else if err != nil {
 		writeQueryError(w, err)
 		return
 	}
@@ -342,7 +388,12 @@ func serveBatch[T any](s *Server, w http.ResponseWriter, r *http.Request,
 	}
 	answers, err := query(r.Context(), pts, sel.filter())
 	exhausted := errors.Is(err, lbs.ErrBudgetExhausted)
-	if err != nil && !exhausted {
+	if pe, ok := lbs.AsPartial(err); ok {
+		// Degraded but answered: serve the survivors' merge (dropped
+		// positions stay null) with the annotation in the headers.
+		s.partials.Add(1)
+		setPartialHeaders(w, pe)
+	} else if err != nil && !exhausted {
 		writeQueryError(w, err)
 		return
 	}
@@ -465,6 +516,12 @@ func (c *Client) get(ctx context.Context, endpoint string, p geom.Point) (*query
 		return nil, fmt.Errorf("httpapi: decode: %w", err)
 	}
 	c.queries.Add(1)
+	// A degraded upstream answers 200 with the partial annotation in
+	// the headers; reconstruct it so local and remote callers see the
+	// same contract (records plus *lbs.PartialError).
+	if pe := partialOfHeaders(resp.Header); pe != nil {
+		return &out, pe
+	}
 	return &out, nil
 }
 
@@ -476,10 +533,10 @@ func (c *Client) QueryLR(ctx context.Context, p geom.Point, filter lbs.Filter) (
 		return nil, ErrPerCallFilter
 	}
 	out, err := c.get(ctx, "/v1/lr", p)
-	if err != nil {
+	if err != nil && !lbs.IsPartial(err) {
 		return nil, err
 	}
-	return lrOfWire(out.Results), nil
+	return lrOfWire(out.Results), err
 }
 
 // lrOfWire decodes wire records into LR result rows.
@@ -507,10 +564,10 @@ func (c *Client) QueryLNR(ctx context.Context, p geom.Point, filter lbs.Filter) 
 		return nil, ErrPerCallFilter
 	}
 	out, err := c.get(ctx, "/v1/lnr", p)
-	if err != nil {
+	if err != nil && !lbs.IsPartial(err) {
 		return nil, err
 	}
-	return lnrOfWire(out.Results), nil
+	return lnrOfWire(out.Results), err
 }
 
 // lnrOfWire decodes wire records into LNR result rows.
@@ -565,6 +622,9 @@ func (c *Client) postBatch(ctx context.Context, endpoint string, pts []geom.Poin
 		}
 	}
 	c.queries.Add(answered)
+	if pe := partialOfHeaders(resp.Header); pe != nil {
+		return &out, pe
+	}
 	return &out, nil
 }
 
@@ -585,13 +645,23 @@ func clientBatch[T any](c *Client, ctx context.Context, endpoint string, pts []g
 		return nil, nil
 	}
 	out := make([][]T, len(pts))
+	// Partial annotations from degraded upstream chunks accumulate and
+	// ride back alongside the answers (nil unless some chunk degraded).
+	var partial *lbs.PartialError
 	for off := 0; off < len(pts); off += maxBatchPoints {
 		end := off + maxBatchPoints
 		if end > len(pts) {
 			end = len(pts)
 		}
 		resp, err := c.postBatch(ctx, endpoint, pts[off:end])
-		if err != nil {
+		if pe, ok := lbs.AsPartial(err); ok {
+			if partial == nil {
+				partial = &lbs.PartialError{}
+			}
+			partial.Degraded += pe.Degraded
+			partial.Dropped += pe.Dropped
+			partial.Missing += pe.Missing
+		} else if err != nil {
 			if off > 0 && errors.Is(err, lbs.ErrBudgetExhausted) {
 				return out, err
 			}
@@ -609,6 +679,9 @@ func clientBatch[T any](c *Client, ctx context.Context, endpoint string, pts []g
 		if resp.Exhausted {
 			return out, lbs.ErrBudgetExhausted
 		}
+	}
+	if partial != nil {
+		return out, partial
 	}
 	return out, nil
 }

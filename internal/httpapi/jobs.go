@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/faults"
 	"repro/internal/jobs"
 	"repro/internal/lbs"
 	"repro/internal/live"
@@ -166,15 +167,67 @@ type shardStatView struct {
 	MaxX    float64 `json:"max_x"`
 	MaxY    float64 `json:"max_y"`
 	Queries int64   `json:"queries"`
+	// State is the member's circuit-breaker state (closed / open /
+	// half-open); Failures counts its availability failures, Opens how
+	// many times its breaker tripped.
+	State    shard.BreakerState `json:"state,omitempty"`
+	Failures int64              `json:"failures,omitempty"`
+	Opens    int64              `json:"opens,omitempty"`
 }
 
 // federationStatsView is the wire form of shard.RouterStats.
 type federationStatsView struct {
 	// Logical is the federation's client-visible query count; Upstream
 	// the physical subqueries fanned out across the shards.
-	Logical  int64           `json:"logical"`
-	Upstream int64           `json:"upstream"`
-	Shards   []shardStatView `json:"shards"`
+	Logical  int64 `json:"logical"`
+	Upstream int64 `json:"upstream"`
+	// Partial counts queries answered degraded, Dropped batch positions
+	// lost to a dead owner; Retries and Hedges count the resilience
+	// layer's extra member attempts.
+	Partial int64           `json:"partial,omitempty"`
+	Dropped int64           `json:"dropped,omitempty"`
+	Retries int64           `json:"retries,omitempty"`
+	Hedges  int64           `json:"hedges,omitempty"`
+	Shards  []shardStatView `json:"shards"`
+}
+
+// faultStatsView is the wire form of faults.Stats, reported when the
+// backend chain runs through a fault injector (chaos deployments).
+type faultStatsView struct {
+	Calls      int64 `json:"calls"`
+	Transients int64 `json:"transients"`
+	DownCalls  int64 `json:"down_calls"`
+	Duplicates int64 `json:"duplicates"`
+	Slowed     int64 `json:"slowed"`
+}
+
+// memberFaults walks each federation member's wrapper chain and sums
+// any faults.Stats found, or returns nil when no member runs through
+// an injector.
+func memberFaults(members []lbs.Querier) *faultStatsView {
+	var fv *faultStatsView
+	for _, q := range members {
+		for q != nil {
+			if fs, ok := q.(interface{ Stats() faults.Stats }); ok {
+				st := fs.Stats()
+				if fv == nil {
+					fv = &faultStatsView{}
+				}
+				fv.Calls += st.Calls
+				fv.Transients += st.Transients
+				fv.DownCalls += st.DownCalls
+				fv.Duplicates += st.Duplicates
+				fv.Slowed += st.Slowed
+				break
+			}
+			iw, ok := q.(lbs.Wrapper)
+			if !ok {
+				break
+			}
+			q = iw.Inner()
+		}
+	}
+	return fv
 }
 
 // statsResponse is the /v1/stats payload.
@@ -188,9 +241,16 @@ type statsResponse struct {
 	// Cache reports answer-cache effectiveness when the backend chain
 	// contains a CachedOracle.
 	Cache *cacheStatsView `json:"cache,omitempty"`
+	// PartialAnswers counts queries this server answered degraded (a
+	// federation shard down or skipped; the response carried partial
+	// headers).
+	PartialAnswers int64 `json:"partial_answers,omitempty"`
 	// Federation reports scatter-gather and per-shard counters when
 	// the backend chain ends in a shard.Router.
 	Federation *federationStatsView `json:"federation,omitempty"`
+	// Faults reports injected-fault counters when the backend chain
+	// runs through a faults.Injector (chaos deployments).
+	Faults *faultStatsView `json:"faults,omitempty"`
 	// Live reports mutation counters when the backend chain (or the
 	// configured Mutator) is a live database or cluster.
 	Live *liveStatsView `json:"live,omitempty"`
@@ -212,6 +272,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Queries:         s.svc.QueryCount(),
 		BudgetRemaining: -1,
+		PartialAnswers:  s.partials.Load(),
 		Jobs:            s.jobs.Counts(),
 	}
 	for q := s.svc; q != nil; {
@@ -228,15 +289,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if resp.Federation == nil {
 			if fs, ok := q.(interface{ Stats() shard.RouterStats }); ok {
 				st := fs.Stats()
-				fv := &federationStatsView{Logical: st.Logical, Upstream: st.Upstream}
+				fv := &federationStatsView{
+					Logical: st.Logical, Upstream: st.Upstream,
+					Partial: st.Partial, Dropped: st.Dropped,
+					Retries: st.Retries, Hedges: st.Hedges,
+				}
 				for _, sh := range st.Shards {
 					fv.Shards = append(fv.Shards, shardStatView{
 						MinX: sh.Region.Min.X, MinY: sh.Region.Min.Y,
 						MaxX: sh.Region.Max.X, MaxY: sh.Region.Max.Y,
 						Queries: sh.Queries,
+						State:   sh.State, Failures: sh.Failures, Opens: sh.Opens,
 					})
 				}
 				resp.Federation = fv
+			}
+		}
+		if resp.Faults == nil {
+			if fs, ok := q.(interface{ Stats() faults.Stats }); ok {
+				st := fs.Stats()
+				resp.Faults = &faultStatsView{
+					Calls: st.Calls, Transients: st.Transients,
+					DownCalls: st.DownCalls, Duplicates: st.Duplicates,
+					Slowed: st.Slowed,
+				}
+			} else if m, ok := q.(interface{ Members() []lbs.Querier }); ok {
+				// A federation's injectors sit inside its member chains,
+				// not on the main wrapper spine: sum them across shards.
+				if fv := memberFaults(m.Members()); fv != nil {
+					resp.Faults = fv
+				}
 			}
 		}
 		if resp.Live == nil {

@@ -166,18 +166,22 @@ type ResultView struct {
 	CI95     JSONFloat `json:"ci95"`
 	Samples  int       `json:"samples"`
 	Queries  int64     `json:"queries"`
+	// DegradedSamples counts samples drawn while the backend answered
+	// degraded (partial federation); omitted for healthy runs.
+	DegradedSamples int `json:"degraded_samples,omitempty"`
 }
 
 // resultViewOf converts a core.Result (dropping the trace: the trace
 // endpoint streams it instead).
 func resultViewOf(r core.Result) ResultView {
 	return ResultView{
-		Name:     r.Name,
-		Estimate: JSONFloat(r.Estimate),
-		StdErr:   JSONFloat(r.StdErr),
-		CI95:     JSONFloat(r.CI95),
-		Samples:  r.Samples,
-		Queries:  r.Queries,
+		Name:            r.Name,
+		Estimate:        JSONFloat(r.Estimate),
+		StdErr:          JSONFloat(r.StdErr),
+		CI95:            JSONFloat(r.CI95),
+		Samples:         r.Samples,
+		Queries:         r.Queries,
+		DegradedSamples: r.DegradedSamples,
 	}
 }
 
@@ -189,6 +193,8 @@ type TraceEvent struct {
 	Queries  int64     `json:"queries"`
 	Samples  int       `json:"samples"`
 	Estimate JSONFloat `json:"estimate"`
+	// Degraded marks samples drawn from a partially-available backend.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PlanGroupView is the wire form of one method group of a planned
@@ -234,6 +240,12 @@ type View struct {
 	Samples int    `json:"samples"`
 	// Queries is the job-scoped query spend so far.
 	Queries int64 `json:"queries"`
+	// DegradedSamples counts samples drawn while the backend answered
+	// degraded (a federation shard down or skipped); DegradedQueries is
+	// the underlying count of partially-answered queries. Both 0 — and
+	// omitted — for healthy runs.
+	DegradedSamples int   `json:"degraded_samples,omitempty"`
+	DegradedQueries int64 `json:"degraded_queries,omitempty"`
 	// TraceLen is the number of trace events recorded so far.
 	TraceLen int `json:"trace_len"`
 	// Results are final when State is done, the latest partials while
@@ -294,6 +306,10 @@ type Job struct {
 	plan   *core.AggPlan   // legacy path (Parallelism > 1)
 	qplan  *core.QueryPlan // planner path (Parallelism ≤ 1)
 	scoped *lbs.ScopedQuerier
+	// tol absorbs partial-federation annotations under the scope so
+	// estimators see clean answers; its counters feed the job's
+	// degraded accounting.
+	tol    *lbs.TolerantQuerier
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -312,6 +328,7 @@ type Job struct {
 	trace      []TraceEvent
 	traceBase  int
 	traceWake  chan struct{} // closed+replaced on every trace append / finish
+	degraded   int           // samples completed while the backend answered degraded
 	createdAt  time.Time
 	finishedAt time.Time
 }
@@ -374,12 +391,17 @@ func (m *Manager) Create(spec Spec) (*Job, error) {
 	m.seq++
 	id := "job-" + strconv.FormatInt(m.seq, 10)
 	ctx, cancel := context.WithCancel(context.Background())
+	// Scope over tolerance: the scope meters logical queries (degraded
+	// answers included — they are answers) while the tolerant layer
+	// strips partial annotations before the estimators see them.
+	tol := lbs.NewTolerantQuerier(m.backend)
 	j := &Job{
 		ID:        id,
 		Spec:      spec,
 		plan:      plan,
 		qplan:     qplan,
-		scoped:    lbs.NewScopedQuerier(m.backend, spec.Options.MaxQueries),
+		scoped:    lbs.NewScopedQuerier(tol, spec.Options.MaxQueries),
+		tol:       tol,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		state:     StateRunning,
@@ -579,6 +601,9 @@ func (j *Job) onProgress(points []core.TracePoint) {
 	if j.partial == nil {
 		j.partial = make([]core.Result, len(j.plan.Aggs))
 	}
+	if len(points) > 0 && points[0].Degraded {
+		j.degraded++
+	}
 	for i, tp := range points {
 		name := j.plan.Aggs[i].Name
 		j.trace = append(j.trace, TraceEvent{
@@ -586,6 +611,7 @@ func (j *Job) onProgress(points []core.TracePoint) {
 			Queries:  tp.Queries,
 			Samples:  tp.Samples,
 			Estimate: JSONFloat(tp.Estimate),
+			Degraded: tp.Degraded,
 		})
 		j.partial[i] = core.Result{
 			Name:     name,
@@ -613,12 +639,16 @@ func (j *Job) onPlanProgress(pp core.PlanProgress) {
 		j.planStats = make([]planGroupStat, len(j.qplan.Groups))
 	}
 	grp := &j.qplan.Groups[pp.Group]
+	if pp.Degraded {
+		j.degraded++
+	}
 	for i, tp := range pp.Points {
 		j.trace = append(j.trace, TraceEvent{
 			Agg:      grp.Aggs[i].Name,
 			Queries:  tp.Queries,
 			Samples:  tp.Samples,
 			Estimate: JSONFloat(tp.Estimate),
+			Degraded: tp.Degraded,
 		})
 	}
 	// pp's slices are reused between samples; copy the spec results out.
@@ -666,13 +696,15 @@ func (j *Job) Snapshot() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := View{
-		ID:        j.ID,
-		State:     j.state,
-		Method:    j.Spec.Method,
-		Seed:      j.Spec.Seed,
-		Queries:   j.scoped.QueryCount(),
-		TraceLen:  j.traceBase + len(j.trace),
-		CreatedAt: j.createdAt,
+		ID:              j.ID,
+		State:           j.state,
+		Method:          j.Spec.Method,
+		Seed:            j.Spec.Seed,
+		Queries:         j.scoped.QueryCount(),
+		DegradedSamples: j.degraded,
+		DegradedQueries: j.tol.DegradedCount(),
+		TraceLen:        j.traceBase + len(j.trace),
+		CreatedAt:       j.createdAt,
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()

@@ -377,6 +377,13 @@ func cachedQuery[T any](c *CachedOracle, ctx context.Context, q geom.Point, filt
 	}
 	recs, err := fetch(ctx, q, filter)
 	if err != nil {
+		if IsPartial(err) {
+			// A degraded answer is served but never memoized: once the
+			// missing member recovers, the same key must re-fetch the
+			// full answer instead of replaying the contaminated one.
+			c.bypasses.Add(1)
+			return recs, err
+		}
 		return nil, err
 	}
 	c.misses.Add(1)
@@ -417,11 +424,18 @@ func cachedBatch[T any](c *CachedOracle, ctx context.Context, pts []geom.Point, 
 		return out, nil
 	}
 	answers, err := fetch(ctx, missPts, filter)
+	partial := IsPartial(err)
 	for j, recs := range answers {
 		if recs == nil {
 			continue
 		}
 		out[missIdx[j]] = recs
+		if partial {
+			// The annotation does not say which positions were
+			// degraded, so none of the batch is memoized.
+			c.bypasses.Add(1)
+			continue
+		}
 		c.misses.Add(1)
 		c.store(entry(missKeys[j], recs))
 	}

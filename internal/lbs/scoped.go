@@ -114,11 +114,13 @@ func (s *ScopedQuerier) QueryLR(ctx context.Context, q geom.Point, filter Filter
 		return nil, err
 	}
 	recs, err := s.inner.QueryLR(ctx, q, filter)
-	if err != nil {
+	if err != nil && !IsPartial(err) {
 		s.refund(1)
 		return nil, err
 	}
-	return recs, nil
+	// A degraded answer is still an answer: the scope keeps its charge
+	// and forwards the annotation.
+	return recs, err
 }
 
 // QueryLNR implements Querier.
@@ -127,11 +129,11 @@ func (s *ScopedQuerier) QueryLNR(ctx context.Context, q geom.Point, filter Filte
 		return nil, err
 	}
 	recs, err := s.inner.QueryLNR(ctx, q, filter)
-	if err != nil {
+	if err != nil && !IsPartial(err) {
 		s.refund(1)
 		return nil, err
 	}
-	return recs, nil
+	return recs, err
 }
 
 // QueryLRBatch implements Querier: the scope grants a prefix of the

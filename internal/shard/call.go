@@ -1,0 +1,203 @@
+package shard
+
+// call.go — the resilient member-call pipeline every subquery goes
+// through: breaker bookkeeping, a per-attempt deadline that bounds
+// wedged members, hedged duplicate requests on slow attempts, and
+// bounded jittered retry of transient failures. Retries and hedges
+// re-use the logical budget unit reserved before the scatter — the
+// meter is charged per answered query, never per attempt.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/lbs"
+)
+
+// ErrShardTimeout marks a member call abandoned at the ShardTimeout
+// deadline (the member may still be grinding; its late answer is
+// dropped). Not transient: retrying a wedged member would just burn
+// another deadline — the breaker handles persistent wedges.
+var ErrShardTimeout = errors.New("shard: member call timed out")
+
+// ErrNoShards is returned when every member's breaker is open: the
+// federation has no healthy shard left to own the query.
+var ErrNoShards = errors.New("shard: no healthy shard available")
+
+// ErrOwnerDown is the crisp typed failure of a query whose owning
+// shard could not answer. Degraded merging covers non-owner members;
+// the owner's candidates anchor the fan-out bound, so without them
+// the router refuses to fabricate an answer. errors.Is(err,
+// ErrOwnerDown) matches through OwnerDownError.
+var ErrOwnerDown = errors.New("shard: owner shard unavailable")
+
+// OwnerDownError carries which member failed as the query's owner and
+// why.
+type OwnerDownError struct {
+	Shard int
+	Err   error
+}
+
+func (e *OwnerDownError) Error() string {
+	return fmt.Sprintf("shard: owner shard %d unavailable: %v", e.Shard, e.Err)
+}
+
+func (e *OwnerDownError) Unwrap() error { return e.Err }
+
+// Is lets errors.Is(err, ErrOwnerDown) classify the failure without
+// callers knowing the concrete type.
+func (e *OwnerDownError) Is(target error) bool { return target == ErrOwnerDown }
+
+// availabilityClass reports whether a member failure speaks to the
+// member's health (engaging breaker/degraded machinery) rather than
+// to the request itself. A spent member budget and a caller that gave
+// up are not the shard's fault — those abort the scatter crisply,
+// exactly as before the resilience layer existed.
+func (r *Router) availabilityClass(ctx context.Context, err error) bool {
+	if err == nil || lbs.IsPartial(err) {
+		return false
+	}
+	if errors.Is(err, lbs.ErrBudgetExhausted) {
+		return false
+	}
+	return ctx.Err() == nil
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attemptResult carries one attempt's answer across the hedge race.
+type attemptResult[T any] struct {
+	v   T
+	err error
+}
+
+// attempt runs f once against member si under the ShardTimeout
+// deadline, hedging a duplicate request (to the Replica when the
+// shard has one, else the same member) once the attempt outlives the
+// shard's recent latency quantile. The first success wins; a wedged
+// or silent member costs at most the deadline. f must honor its
+// context on remote transports; members that ignore it merely keep a
+// goroutine grinding until they answer — the caller is unblocked at
+// the deadline either way, which is the wedge guarantee.
+func attempt[T any](r *Router, ctx context.Context, si int, probe bool,
+	f func(ctx context.Context, q lbs.Querier) (T, error)) (T, error) {
+
+	var zero T
+	h := r.health[si]
+	cctx := ctx
+	if r.res.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, r.res.ShardTimeout)
+		defer cancel()
+	}
+
+	var hedgeC <-chan time.Time
+	if !probe && r.res.HedgeQuantile > 0 {
+		if d, ok := h.hedgeDelay(r.res.HedgeQuantile); ok {
+			if d < r.res.HedgeMin {
+				d = r.res.HedgeMin
+			}
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			hedgeC = timer.C
+		}
+	}
+
+	// No deadline and no hedge: call inline, zero goroutines — the
+	// clean fast path stays allocation-identical to the old scatter.
+	if r.res.ShardTimeout <= 0 && hedgeC == nil {
+		t0 := time.Now()
+		v, err := f(cctx, r.shards[si].Querier)
+		h.observe(time.Since(t0))
+		return v, err
+	}
+
+	ch := make(chan attemptResult[T], 2)
+	run := func(q lbs.Querier) {
+		t0 := time.Now()
+		v, err := f(cctx, q)
+		h.observe(time.Since(t0))
+		ch <- attemptResult[T]{v: v, err: err}
+	}
+	go run(r.shards[si].Querier)
+	outstanding := 1
+	for {
+		select {
+		case res := <-ch:
+			outstanding--
+			if res.err == nil || lbs.IsPartial(res.err) || outstanding == 0 {
+				return res.v, res.err
+			}
+			// The first answer failed but a hedge is still in
+			// flight — it may yet succeed.
+		case <-hedgeC:
+			hedgeC = nil
+			r.hedges.Add(1)
+			alt := r.shards[si].Replica
+			if alt == nil {
+				alt = r.shards[si].Querier
+			}
+			outstanding++
+			go run(alt)
+		case <-cctx.Done():
+			if ctx.Err() != nil {
+				return zero, ctx.Err()
+			}
+			return zero, fmt.Errorf("%w (shard %d after %v)", ErrShardTimeout, si, r.res.ShardTimeout)
+		}
+	}
+}
+
+// memberCall is the full pipeline: attempts with bounded jittered
+// retry of transient failures, then breaker bookkeeping on the final
+// outcome. A partial annotation from a member (itself a nested
+// federation) counts as success — the answer is usable and the
+// annotation propagates to the caller.
+func memberCall[T any](r *Router, ctx context.Context, si int, probe bool,
+	f func(ctx context.Context, q lbs.Querier) (T, error)) (T, error) {
+
+	h := r.health[si]
+	attempts := 1 + r.res.MaxRetries
+	if probe {
+		attempts = 1
+	}
+	var zero T
+	var last error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			r.retries.Add(1)
+			if d := backoffDelay(r.rng, r.res.RetryBase, r.res.RetryMax, a); d > 0 {
+				if err := sleepCtx(ctx, d); err != nil {
+					break
+				}
+			}
+		}
+		v, err := attempt(r, ctx, si, probe, f)
+		if err == nil || lbs.IsPartial(err) {
+			h.onSuccess(probe)
+			return v, err
+		}
+		last = err
+		if ctx.Err() != nil || !lbs.IsTransient(err) {
+			break
+		}
+	}
+	if r.availabilityClass(ctx, last) {
+		h.onFailure(probe, r.res.BreakerThreshold, time.Now())
+	} else if probe {
+		h.releaseProbe()
+	}
+	return zero, last
+}

@@ -1,0 +1,285 @@
+package shard
+
+// health.go — the per-member health machinery of a resilient Router:
+// the consecutive-failure circuit breaker that health-gates routing,
+// and the latency window behind hedged requests.
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Resilience configures the Router's fault-tolerance: per-shard call
+// deadlines, bounded retry of transient failures, hedged requests and
+// the per-shard circuit breaker. The zero value disables everything —
+// the pre-resilience scatter behavior plus degraded-mode merging.
+// NewRouter applies DefaultResilience; NewRouterWithResilience takes
+// an explicit one.
+type Resilience struct {
+	// ShardTimeout bounds each member subquery (one attempt,
+	// including all its hedges). A wedged member costs at most this
+	// long before it is treated as failed. 0 = no deadline.
+	ShardTimeout time.Duration
+
+	// MaxRetries re-issues a member call up to this many extra times
+	// when it fails transiently (lbs.IsTransient). Retries re-use the
+	// already-reserved logical budget unit — the meter is charged
+	// once per answered query, never per attempt. 0 = no retries.
+	MaxRetries int
+	// RetryBase seeds the exponential backoff between retries;
+	// RetryMax caps it. Waits are uniformly jittered in [d/2, d].
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// HedgeQuantile launches a duplicate request — to the shard's
+	// Replica when it has one, else re-asking the same member — once
+	// an attempt has been in flight longer than this quantile of the
+	// shard's recent latencies (e.g. 0.95); the first answer wins.
+	// 0 disables hedging.
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay, so a burst of fast answers
+	// cannot make the router hedge pathologically early.
+	HedgeMin time.Duration
+
+	// BreakerThreshold opens a shard's breaker after this many
+	// consecutive failed calls; an open shard is routed around
+	// (ownership moves to the nearest healthy region, fan-outs skip
+	// it and mark the answer partial). 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a breaker stays open before it
+	// half-opens and admits a single probe call: a successful probe
+	// closes it, a failed one re-opens it for another cooldown.
+	BreakerCooldown time.Duration
+
+	// Seed makes backoff jitter deterministic for tests; 0 derives
+	// jitter from the global PRNG.
+	Seed int64
+}
+
+// DefaultResilience is the sane default NewRouter applies: 10 s shard
+// deadline, two transient retries with 2 ms–250 ms jittered backoff,
+// hedging off (it trades extra upstream queries for tail latency —
+// opt in where that trade is right), breaker at 5 consecutive
+// failures with a 1 s cooldown.
+func DefaultResilience() Resilience {
+	return Resilience{
+		ShardTimeout:     10 * time.Second,
+		MaxRetries:       2,
+		RetryBase:        2 * time.Millisecond,
+		RetryMax:         250 * time.Millisecond,
+		HedgeMin:         5 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  time.Second,
+	}
+}
+
+// BreakerState is a shard breaker's observable state.
+type BreakerState string
+
+const (
+	// BreakerClosed: healthy, calls flow.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: routed around until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: cooldown elapsed (or a probe is in flight) —
+	// the next eligible call is a probe.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// latWindowSize is the per-shard latency ring behind the hedge
+// quantile; latWindowMin is how many observations it needs before
+// hedging engages (too few and the quantile is noise).
+const (
+	latWindowSize = 64
+	latWindowMin  = 16
+)
+
+// shardHealth tracks one member's breaker and latency window.
+type shardHealth struct {
+	mu sync.Mutex
+
+	open     bool
+	probing  bool // a half-open probe is in flight
+	openedAt time.Time
+	fails    int // consecutive failures while closed
+
+	// Cumulative counters for Stats.
+	failures int64
+	opens    int64
+
+	lat  [latWindowSize]time.Duration
+	latN int // total observations (ring index = latN % size)
+}
+
+// state derives the observable breaker state at time now.
+func (h *shardHealth) state(now time.Time, cooldown time.Duration) BreakerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stateLocked(now, cooldown)
+}
+
+func (h *shardHealth) stateLocked(now time.Time, cooldown time.Duration) BreakerState {
+	if !h.open {
+		return BreakerClosed
+	}
+	if h.probing || !now.Before(h.openedAt.Add(cooldown)) {
+		return BreakerHalfOpen
+	}
+	return BreakerOpen
+}
+
+// admit decides whether a call to this member may proceed now.
+// Closed → yes. Open within the cooldown → no. Half-open → one probe
+// at a time: the first caller gets probe=true, the rest are refused
+// until the probe settles.
+func (h *shardHealth) admit(now time.Time, cooldown time.Duration) (ok, probe bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.open {
+		return true, false
+	}
+	if h.probing || now.Before(h.openedAt.Add(cooldown)) {
+		return false, false
+	}
+	h.probing = true
+	return true, true
+}
+
+// ownable reports whether this member may be chosen as a query's
+// owner: only closed breakers. A half-open member is probed through
+// fan-out calls, where its failure degrades the answer instead of
+// failing the query crisply.
+func (h *shardHealth) ownable() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.open
+}
+
+// releaseProbe hands back an admitted-but-unused probe slot (e.g. a
+// batch scatter that found no positions to probe with, or a probe
+// aborted by caller cancellation before it said anything about the
+// member's health).
+func (h *shardHealth) releaseProbe() {
+	h.mu.Lock()
+	h.probing = false
+	h.mu.Unlock()
+}
+
+// snapshot reports the observable state plus cumulative counters.
+func (h *shardHealth) snapshot(now time.Time, cooldown time.Duration) (BreakerState, int64, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stateLocked(now, cooldown), h.failures, h.opens
+}
+
+// onSuccess records a successful call: a probe success (or any
+// success) closes the breaker and resets the failure streak.
+func (h *shardHealth) onSuccess(probe bool) {
+	h.mu.Lock()
+	h.open = false
+	h.probing = false
+	h.fails = 0
+	h.mu.Unlock()
+}
+
+// onFailure records a failed availability-class call. A failed probe
+// re-opens immediately; while closed, the consecutive-failure count
+// trips the breaker at threshold. threshold ≤ 0 disables tripping.
+func (h *shardHealth) onFailure(probe bool, threshold int, now time.Time) {
+	h.mu.Lock()
+	h.failures++
+	if probe {
+		h.probing = false
+		h.openedAt = now
+		h.opens++
+		h.mu.Unlock()
+		return
+	}
+	if h.open {
+		h.mu.Unlock()
+		return
+	}
+	h.fails++
+	if threshold > 0 && h.fails >= threshold {
+		h.open = true
+		h.openedAt = now
+		h.opens++
+	}
+	h.mu.Unlock()
+}
+
+// observe records one attempt's latency in the ring.
+func (h *shardHealth) observe(d time.Duration) {
+	h.mu.Lock()
+	h.lat[h.latN%latWindowSize] = d
+	h.latN++
+	h.mu.Unlock()
+}
+
+// hedgeDelay returns the q-quantile of the recent latency window, or
+// ok=false while the window is too small to trust.
+func (h *shardHealth) hedgeDelay(q float64) (time.Duration, bool) {
+	h.mu.Lock()
+	n := h.latN
+	if n > latWindowSize {
+		n = latWindowSize
+	}
+	if n < latWindowMin {
+		h.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, h.lat[:n])
+	h.mu.Unlock()
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	idx := int(q * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return buf[idx], true
+}
+
+// lockedRand is the router's jitter source (math/rand.Rand is not
+// safe for concurrent use).
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63n(n)
+}
+
+// backoffDelay is the jittered exponential backoff before retry
+// attempt a (a ≥ 1): base·2^(a−1) capped at max, jittered uniformly
+// in [d/2, d] — the same shape the HTTP client's RetryPolicy uses.
+func backoffDelay(r *lockedRand, base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(r.Int63n(int64(d/2)+1))
+}

@@ -149,14 +149,27 @@ func NewLocal(db *lbs.Database, opts lbs.Options, n int) (*Router, error) {
 // constructs a fresh service per run — partition once and rebuild
 // only this cheap layer.
 func FromParts(parts []*lbs.Database, opts lbs.Options) (*Router, error) {
+	return FromPartsWrapped(parts, opts, DefaultResilience(), nil)
+}
+
+// FromPartsWrapped is FromParts with an explicit Resilience and an
+// optional per-member wrap hook: each shard service is passed through
+// wrap (when non-nil) before registration, so callers can interpose a
+// fault injector, an instrumentation layer or a cache in front of
+// individual members — the chaos harness and "lbsserve -fault-spec"
+// both build their faulted federations through this.
+func FromPartsWrapped(parts []*lbs.Database, opts lbs.Options, res Resilience, wrap func(i int, q lbs.Querier) lbs.Querier) (*Router, error) {
 	norm, err := opts.Normalized()
 	if err != nil {
 		return nil, err
 	}
 	shards := make([]Shard, len(parts))
 	for i, p := range parts {
-		svc := lbs.NewService(p, lbs.Options{K: candidateK(norm), MaxRadius: norm.MaxRadius})
-		shards[i] = Shard{Querier: svc, Region: p.Bounds()}
+		var q lbs.Querier = lbs.NewService(p, lbs.Options{K: candidateK(norm), MaxRadius: norm.MaxRadius})
+		if wrap != nil {
+			q = wrap(i, q)
+		}
+		shards[i] = Shard{Querier: q, Region: p.Bounds()}
 	}
-	return NewRouter(shards, opts)
+	return NewRouterWithResilience(shards, opts, res)
 }

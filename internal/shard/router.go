@@ -27,6 +27,10 @@ import (
 type Shard struct {
 	Querier lbs.Querier
 	Region  geom.Rect
+	// Replica, when set, is a sibling serving the same tuples; hedged
+	// requests go to it instead of re-asking the primary. It must
+	// answer bit-identically to Querier (same tuples, same K).
+	Replica lbs.Querier
 }
 
 // ShardStat is the per-member slice of a Router's stats surface.
@@ -35,11 +39,18 @@ type ShardStat struct {
 	Region geom.Rect
 	// Queries is the member's lifetime physical query count.
 	Queries int64
+	// State is the member's breaker state (closed / open / half-open).
+	State BreakerState
+	// Failures counts availability-class call failures (cumulative);
+	// Opens counts how many times the breaker tripped.
+	Failures int64
+	Opens    int64
 }
 
-// RouterStats snapshots a Router's cost accounting: logical queries
-// charged against the federated budget, total physical subqueries
-// fanned out, and the per-shard breakdown.
+// RouterStats snapshots a Router's cost accounting and health: logical
+// queries charged against the federated budget, total physical
+// subqueries fanned out, resilience counters, and the per-shard
+// breakdown.
 type RouterStats struct {
 	// Logical is the number of client-visible queries answered (the
 	// paper's cost metric; what the budget meters).
@@ -47,6 +58,15 @@ type RouterStats struct {
 	// Upstream is the number of physical subqueries the router issued
 	// across all shards; Upstream/Logical is the effective fan-out.
 	Upstream int64
+	// Partial counts logical queries answered degraded (a relevant
+	// member was skipped or failed); Dropped counts batch positions
+	// that got no answer because their owner was down.
+	Partial int64
+	Dropped int64
+	// Retries and Hedges count extra member attempts the resilience
+	// layer issued.
+	Retries int64
+	Hedges  int64
 	// Shards is the per-member breakdown, in shard order.
 	Shards []ShardStat
 }
@@ -54,10 +74,10 @@ type RouterStats struct {
 // Router federates N shards behind the lbs.Querier interface using
 // two-phase scatter-gather:
 //
-//  1. The shard owning the query point (nearest region) is asked for
-//     its candidates; when it returns a full candidate set, the
-//     distance of its last candidate bounds how far a better candidate
-//     can hide in another shard.
+//  1. The shard owning the query point (nearest healthy region) is
+//     asked for its candidates; when it returns a full candidate set,
+//     the distance of its last candidate bounds how far a better
+//     candidate can hide in another shard.
 //  2. The query fans out only to shards whose regions intersect the
 //     closed ball of that radius; all candidates merge by (dist, ID) —
 //     the service ordering contract — and the logical rank/prominence
@@ -70,21 +90,41 @@ type RouterStats struct {
 // including out-of-bounds query points, which route to the nearest
 // region and are answered from the full federation like any other.
 //
+// Under partial failure the router degrades instead of failing: member
+// calls run through the resilience pipeline (deadline, retry, hedge —
+// see Resilience), a member that still fails is recorded by its
+// circuit breaker and routed around once the breaker opens, and a
+// query whose fan-out lost a relevant member returns the survivors'
+// merge annotated with *lbs.PartialError. Only the owner is
+// indispensable — its candidates anchor the bound — so an owner
+// failure is a crisp typed error (ErrOwnerDown) instead of a fabricated
+// answer.
+//
 // The Router owns the logical cost model: its Budget and Limiter meter
 // client-visible queries (one unit per answered point, however wide
-// the fan-out), and QueryCount reports them. Shard members keep their
-// own physical counters, aggregated by Stats. Shards must hold
-// pairwise-disjoint tuple sets (Partition guarantees it; remote
-// deployments must not register overlapping upstreams). A Router is
-// safe for concurrent use whenever its members are.
+// the fan-out), and QueryCount reports them. Degraded answers are
+// charged (they are answers); dropped batch positions are refunded.
+// Shard members keep their own physical counters, aggregated by
+// Stats. Shards must hold pairwise-disjoint tuple sets (Partition
+// guarantees it; remote deployments must not register overlapping
+// upstreams). A Router is safe for concurrent use whenever its
+// members are.
 type Router struct {
 	shards []Shard
 	opts   lbs.Options
+	res    Resilience
 	want   int // distance candidates needed per logical query
 	bounds geom.Rect
 
 	meter  *lbs.Meter
-	fanout atomic.Int64
+	health []*shardHealth
+	rng    *lockedRand
+
+	fanout  atomic.Int64
+	partial atomic.Int64
+	dropped atomic.Int64
+	retries atomic.Int64
+	hedges  atomic.Int64
 }
 
 var _ lbs.Querier = (*Router)(nil)
@@ -93,12 +133,21 @@ var _ lbs.Querier = (*Router)(nil)
 // needs from a shard (see lbs.Options.CandidateCount).
 func candidateK(norm lbs.Options) int { return norm.CandidateCount() }
 
-// NewRouter federates shards behind the logical service options: K,
-// MaxRadius, Budget, Limiter and the rank/prominence fields describe
-// the service the federation presents, exactly as lbs.Options does for
-// NewService. Every member must answer at least the router's candidate
-// count (K, or K×overfetch under prominence rank).
+// NewRouter federates shards behind the logical service options with
+// DefaultResilience. K, MaxRadius, Budget, Limiter and the
+// rank/prominence fields describe the service the federation
+// presents, exactly as lbs.Options does for NewService. Every member
+// must answer at least the router's candidate count (K, or
+// K×overfetch under prominence rank).
 func NewRouter(shards []Shard, opts lbs.Options) (*Router, error) {
+	return NewRouterWithResilience(shards, opts, DefaultResilience())
+}
+
+// NewRouterWithResilience is NewRouter with an explicit fault-
+// tolerance configuration (the zero Resilience disables deadlines,
+// retries, hedging and the breaker while keeping degraded-mode
+// merging).
+func NewRouterWithResilience(shards []Shard, opts lbs.Options, res Resilience) (*Router, error) {
 	norm, err := opts.Normalized()
 	if err != nil {
 		return nil, err
@@ -115,14 +164,23 @@ func NewRouter(shards []Shard, opts lbs.Options) (*Router, error) {
 		if k := sh.Querier.K(); k < want {
 			return nil, fmt.Errorf("shard: shard %d answers k=%d, federation needs ≥ %d candidates", i, k, want)
 		}
+		if sh.Replica != nil && sh.Replica.K() < want {
+			return nil, fmt.Errorf("shard: shard %d replica answers k=%d, federation needs ≥ %d candidates", i, sh.Replica.K(), want)
+		}
 		bounds.Min.X = math.Min(bounds.Min.X, sh.Region.Min.X)
 		bounds.Min.Y = math.Min(bounds.Min.Y, sh.Region.Min.Y)
 		bounds.Max.X = math.Max(bounds.Max.X, sh.Region.Max.X)
 		bounds.Max.Y = math.Max(bounds.Max.Y, sh.Region.Max.Y)
 	}
+	health := make([]*shardHealth, len(shards))
+	for i := range health {
+		health[i] = &shardHealth{}
+	}
 	return &Router{
-		shards: shards, opts: norm, want: want, bounds: bounds,
-		meter: lbs.NewMeter(norm.Budget, norm.Limiter),
+		shards: shards, opts: norm, res: res, want: want, bounds: bounds,
+		meter:  lbs.NewMeter(norm.Budget, norm.Limiter),
+		health: health,
+		rng:    newLockedRand(res.Seed),
 	}, nil
 }
 
@@ -135,6 +193,18 @@ func (r *Router) K() int { return r.opts.K }
 // NumShards returns the federation width.
 func (r *Router) NumShards() int { return len(r.shards) }
 
+// Members returns the per-shard backend queriers (including any
+// wrappers installed via FromPartsWrapped, such as fault injectors),
+// so observability layers can walk each member chain for optional
+// stats interfaces the router itself does not aggregate.
+func (r *Router) Members() []lbs.Querier {
+	out := make([]lbs.Querier, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = sh.Querier
+	}
+	return out
+}
+
 // QueryCount implements lbs.Querier: logical queries answered.
 func (r *Router) QueryCount() int64 { return r.meter.Count() }
 
@@ -146,15 +216,29 @@ func (r *Router) RemainingBudget() int64 { return r.meter.Remaining() }
 // limiter imposed (0 without a Limiter).
 func (r *Router) VirtualWaited() time.Duration { return r.meter.VirtualWaited() }
 
-// Stats snapshots the router's cost accounting.
+// DegradedCount returns how many logical queries were answered from a
+// partial federation — the contamination metric the estimation layers
+// fold into traces and job views.
+func (r *Router) DegradedCount() int64 { return r.partial.Load() }
+
+// Stats snapshots the router's cost accounting and member health.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{
 		Logical:  r.meter.Count(),
 		Upstream: r.fanout.Load(),
+		Partial:  r.partial.Load(),
+		Dropped:  r.dropped.Load(),
+		Retries:  r.retries.Load(),
+		Hedges:   r.hedges.Load(),
 		Shards:   make([]ShardStat, len(r.shards)),
 	}
+	now := time.Now()
 	for i, sh := range r.shards {
-		st.Shards[i] = ShardStat{Region: sh.Region, Queries: sh.Querier.QueryCount()}
+		state, failures, opens := r.health[i].snapshot(now, r.res.BreakerCooldown)
+		st.Shards[i] = ShardStat{
+			Region: sh.Region, Queries: sh.Querier.QueryCount(),
+			State: state, Failures: failures, Opens: opens,
+		}
 	}
 	return st
 }
@@ -166,8 +250,8 @@ func (r *Router) chargeN(ctx context.Context, n int64) (int64, error) {
 }
 
 // refund hands back logical units whose queries a shard failure left
-// unanswered, so transient upstream errors never leak federated
-// budget (virtual limiter time, already advanced, is not unwound).
+// unanswered, so upstream failures never leak federated budget
+// (virtual limiter time, already advanced, is not unwound).
 func (r *Router) refund(n int64) { r.meter.Refund(n) }
 
 // minDist returns the distance from q to the nearest point of rect,
@@ -185,15 +269,23 @@ func rankDist(q geom.Point, rec *lbs.LRRecord) float64 {
 	return lbs.RankDist(q, rec)
 }
 
-// ownerOf picks the phase-one shard for a query point: the shard whose
-// region is nearest (first wins ties), which is the containing shard
-// for in-bounds points and the closest region for points outside every
-// region. Ownership is a routing heuristic only — any choice yields
-// the same merged answer — but it must be total so federation defines
-// QueryLR for every point on the plane, like a single service does.
-func (r *Router) ownerOf(q geom.Point) int {
-	best, bestD := 0, math.Inf(1)
+// breakerOn reports whether health gating is active.
+func (r *Router) breakerOn() bool { return r.res.BreakerThreshold > 0 }
+
+// pickOwner picks the phase-one shard for a query point: the shard
+// whose region is nearest (first wins ties) among members whose
+// breaker is not open — health-gated routing moves ownership of a
+// dead member's region to its nearest healthy neighbor. Ownership is
+// a routing heuristic only (any choice yields the same merged
+// answer over the reachable members), but it must be total, so
+// federation defines QueryLR for every point on the plane. ok=false
+// means every breaker is open.
+func (r *Router) pickOwner(q geom.Point) (int, bool) {
+	best, bestD := -1, math.Inf(1)
 	for i, sh := range r.shards {
+		if r.breakerOn() && !r.health[i].ownable() {
+			continue
+		}
 		d := q.Dist2(sh.Region.Clamp(q))
 		if d < bestD {
 			best, bestD = i, d
@@ -202,7 +294,7 @@ func (r *Router) ownerOf(q geom.Point) int {
 			}
 		}
 	}
-	return best
+	return best, best >= 0
 }
 
 // boundFor derives the phase-two fan-out radius from the owner's
@@ -230,71 +322,141 @@ func (r *Router) selectTop(q geom.Point, lists ...[]lbs.LRRecord) []lbs.LRRecord
 	return lbs.MergeRanked(q, r.opts, lists...)
 }
 
-// fanOut runs one subquery per target shard — concurrently when there
-// is more than one target, since remote members each pay a network
-// round-trip and the merge is completion-order independent (selectTop
-// imposes the total (dist, ID) order). Results come back in target
-// order; the first error wins. Members are required to be safe for
-// concurrent use (the lbs.Querier contract).
-func fanOut[T any](targets []int, f func(si int) (T, error)) ([]T, error) {
+// fanOutAll runs one subquery per target shard — concurrently when
+// there is more than one target, since remote members each pay a
+// network round-trip and the merge is completion-order independent
+// (selectTop imposes the total (dist, ID) order). Results and errors
+// come back index-aligned with targets; the caller classifies each
+// failure instead of the first error winning. Members are required to
+// be safe for concurrent use (the lbs.Querier contract).
+func fanOutAll[T any](targets []int, f func(j, si int) (T, error)) ([]T, []error) {
 	out := make([]T, len(targets))
+	errs := make([]error, len(targets))
 	switch len(targets) {
 	case 0:
-		return out, nil
+		return out, errs
 	case 1:
-		v, err := f(targets[0])
-		if err != nil {
-			return nil, err
-		}
-		out[0] = v
-		return out, nil
+		out[0], errs[0] = f(0, targets[0])
+		return out, errs
 	}
-	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for j, si := range targets {
 		wg.Add(1)
 		go func(j, si int) {
 			defer wg.Done()
-			out[j], errs[j] = f(si)
+			out[j], errs[j] = f(j, si)
 		}(j, si)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, errs
+}
+
+// queryMember is the single-point member call: one subquery through
+// the resilience pipeline, counted in the physical fan-out.
+func (r *Router) queryMember(ctx context.Context, si int, probe bool, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
+	return memberCall(r, ctx, si, probe, func(c context.Context, mq lbs.Querier) ([]lbs.LRRecord, error) {
+		recs, err := mq.QueryLR(c, q, filter)
+		r.fanout.Add(1)
+		return recs, err
+	})
 }
 
 // scatterOne runs the two-phase scatter-gather for one (already
-// charged) logical query.
+// charged) logical query. The answer may carry a *lbs.PartialError
+// annotation when a relevant non-owner member was skipped (breaker
+// open) or failed after retries.
 func (r *Router) scatterOne(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
-	owner := r.ownerOf(q)
-	ownerRecs, err := r.shards[owner].Querier.QueryLR(ctx, q, filter)
-	r.fanout.Add(1)
-	if err != nil {
-		return nil, err
+	owner, ok := r.pickOwner(q)
+	if !ok {
+		return nil, ErrNoShards
+	}
+	ownerRecs, err := r.queryMember(ctx, owner, false, q, filter)
+	missing := 0
+	var firstErr error
+	if pe, isPartial := lbs.AsPartial(err); isPartial {
+		// A nested federation answered degraded: usable, but the
+		// annotation propagates.
+		missing += pe.Missing
+		firstErr = err
+	} else if err != nil {
+		if !r.availabilityClass(ctx, err) {
+			return nil, err
+		}
+		return nil, &OwnerDownError{Shard: owner, Err: err}
 	}
 	bound := r.boundFor(q, ownerRecs)
 	lists := [][]lbs.LRRecord{ownerRecs}
 	var targets []int
+	var probes, inBall []bool
+	now := time.Now()
 	for i := range r.shards {
-		if i == owner || minDist(q, r.shards[i].Region) > bound {
+		if i == owner {
+			continue
+		}
+		ball := minDist(q, r.shards[i].Region) <= bound
+		admitted, probe := true, false
+		if r.breakerOn() {
+			admitted, probe = r.health[i].admit(now, r.res.BreakerCooldown)
+		}
+		if !admitted {
+			if ball {
+				missing++
+			}
+			continue
+		}
+		if !ball && !probe {
 			continue
 		}
 		targets = append(targets, i)
+		probes = append(probes, probe)
+		inBall = append(inBall, ball)
 	}
-	answers, err := fanOut(targets, func(si int) ([]lbs.LRRecord, error) {
-		recs, err := r.shards[si].Querier.QueryLR(ctx, q, filter)
-		r.fanout.Add(1)
-		return recs, err
+	answers, errs := fanOutAll(targets, func(j, si int) ([]lbs.LRRecord, error) {
+		return r.queryMember(ctx, si, probes[j], q, filter)
 	})
-	if err != nil {
-		return nil, err
+	for j := range targets {
+		err := errs[j]
+		if err == nil || lbs.IsPartial(err) {
+			lists = append(lists, answers[j])
+			if pe, isPartial := lbs.AsPartial(err); isPartial {
+				missing += pe.Missing
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		if !r.availabilityClass(ctx, err) {
+			return nil, err
+		}
+		if inBall[j] {
+			// A relevant member failed after retries: answer from
+			// the survivors, annotated.
+			missing++
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	lists = append(lists, answers...)
-	return r.selectTop(q, lists...), nil
+	merged := r.selectTop(q, lists...)
+	if missing > 0 {
+		r.partial.Add(1)
+		return merged, &lbs.PartialError{Degraded: 1, Missing: missing, Err: firstErr}
+	}
+	return merged, nil
+}
+
+// batchScatterState accumulates per-point outcomes across the two
+// phases of a batch scatter.
+type batchScatterState struct {
+	owners  []int
+	dropped []bool // owner down: no answer, unit refunded by caller
+	missing []int  // relevant members lost per point
+	phase1  [][]lbs.LRRecord
+	lists   [][][]lbs.LRRecord
+
+	missCalls int // member subquery failures/skips, for the annotation
+	firstErr  error
 }
 
 // scatterBatch is scatterOne over m points with per-shard batching:
@@ -302,50 +464,148 @@ func (r *Router) scatterOne(ctx context.Context, q geom.Point, filter lbs.Filter
 // phase-two fan-outs group the (point, shard) pairs the ball test
 // selects into one batch per shard — so a federated batch costs at
 // most 2·N shard round-trips however many points it carries.
+//
+// Failures degrade per position: a failed owner batch drops only its
+// own points (nil answers — the caller refunds exactly those units),
+// and a failed phase-two batch marks its points' answers partial. The
+// returned error is nil for a full answer, a *lbs.PartialError when
+// any position was degraded or dropped, or the crisp underlying error
+// when the failure class aborts the whole batch (spent member budget,
+// canceled caller).
 func (r *Router) scatterBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LRRecord, error) {
-	owners := make([]int, len(pts))
+	st := &batchScatterState{
+		owners:  make([]int, len(pts)),
+		dropped: make([]bool, len(pts)),
+		missing: make([]int, len(pts)),
+		phase1:  make([][]lbs.LRRecord, len(pts)),
+		lists:   make([][][]lbs.LRRecord, len(pts)),
+	}
 	group := make([][]int, len(r.shards))
 	for i, q := range pts {
-		o := r.ownerOf(q)
-		owners[i] = o
+		o, ok := r.pickOwner(q)
+		if !ok {
+			return nil, ErrNoShards
+		}
+		st.owners[i] = o
 		group[o] = append(group[o], i)
 	}
-	lists := make([][][]lbs.LRRecord, len(pts))
-	phase1 := make([][]lbs.LRRecord, len(pts))
-	if err := r.shardBatches(ctx, pts, filter, group, func(pos int, recs []lbs.LRRecord) {
-		phase1[pos] = recs
-		lists[pos] = append(lists[pos], recs)
-	}); err != nil {
+	// Phase 1: owner batches. An owner batch that fails drops its
+	// positions; the rest of the batch proceeds.
+	err := r.shardBatches(ctx, pts, filter, group, nil,
+		func(pos int, recs []lbs.LRRecord, degraded bool) {
+			st.phase1[pos] = recs
+			st.lists[pos] = append(st.lists[pos], recs)
+			if degraded {
+				st.missing[pos]++
+			}
+		},
+		func(si int, err error) {
+			st.missCalls++
+			for _, pos := range group[si] {
+				st.dropped[pos] = true
+			}
+			if st.firstErr == nil {
+				st.firstErr = &OwnerDownError{Shard: si, Err: err}
+			}
+		})
+	if err != nil {
 		return nil, err
 	}
-	need := make([][]int, len(r.shards))
+	// Phase 2: ball-test fan-out, skipping open breakers (each skip
+	// degrades the positions it would have covered).
+	bounds := make([]float64, len(pts))
 	for i, q := range pts {
-		bound := r.boundFor(q, phase1[i])
-		for si := range r.shards {
-			if si == owners[i] || minDist(q, r.shards[si].Region) > bound {
-				continue
-			}
-			need[si] = append(need[si], i)
+		if !st.dropped[i] {
+			bounds[i] = r.boundFor(q, st.phase1[i])
 		}
 	}
-	if err := r.shardBatches(ctx, pts, filter, need, func(pos int, recs []lbs.LRRecord) {
-		lists[pos] = append(lists[pos], recs)
-	}); err != nil {
+	need := make([][]int, len(r.shards))
+	probes := make([]bool, len(r.shards))
+	now := time.Now()
+	for si := range r.shards {
+		admitted, probe := true, false
+		if r.breakerOn() {
+			admitted, probe = r.health[si].admit(now, r.res.BreakerCooldown)
+		}
+		if !admitted {
+			for i, q := range pts {
+				if st.dropped[i] || si == st.owners[i] {
+					continue
+				}
+				if minDist(q, r.shards[si].Region) <= bounds[i] {
+					st.missing[i]++
+				}
+			}
+			st.missCalls++
+			continue
+		}
+		for i, q := range pts {
+			if st.dropped[i] || si == st.owners[i] {
+				continue
+			}
+			if minDist(q, r.shards[si].Region) <= bounds[i] {
+				need[si] = append(need[si], i)
+			}
+		}
+		probes[si] = probe
+		if probe && len(need[si]) == 0 {
+			r.health[si].releaseProbe()
+			probes[si] = false
+		}
+	}
+	err = r.shardBatches(ctx, pts, filter, need, probes,
+		func(pos int, recs []lbs.LRRecord, degraded bool) {
+			st.lists[pos] = append(st.lists[pos], recs)
+			if degraded {
+				st.missing[pos]++
+			}
+		},
+		func(si int, err error) {
+			st.missCalls++
+			for _, pos := range need[si] {
+				st.missing[pos]++
+			}
+			if st.firstErr == nil {
+				st.firstErr = err
+			}
+		})
+	if err != nil {
 		return nil, err
 	}
 	out := make([][]lbs.LRRecord, len(pts))
+	degraded, droppedN := 0, 0
 	for i := range pts {
-		out[i] = r.selectTop(pts[i], lists[i]...)
+		if st.dropped[i] {
+			droppedN++
+			continue
+		}
+		out[i] = r.selectTop(pts[i], st.lists[i]...)
+		if st.missing[i] > 0 {
+			degraded++
+		}
 	}
-	return out, nil
+	if degraded == 0 && droppedN == 0 {
+		return out, nil
+	}
+	r.partial.Add(int64(degraded))
+	r.dropped.Add(int64(droppedN))
+	return out, &lbs.PartialError{
+		Degraded: degraded, Dropped: droppedN, Missing: st.missCalls, Err: st.firstErr,
+	}
 }
 
 // shardBatches issues one batch per involved shard — concurrently
-// across shards via fanOut — for the grouped point positions, then
-// hands every answer back through sink (sequentially, so sinks need
-// no locking).
+// across shards via fanOutAll — for the grouped point positions, then
+// hands every answer back through sink (sequentially, so sinks need no
+// locking). probes marks per-shard half-open trials (nil = none). A
+// shard whose batch fails with an availability-class error is reported
+// through onErr and the rest proceed; any other failure aborts and is
+// returned. A member's own partial annotation flows through as
+// degraded=true on each of its answers.
 func (r *Router) shardBatches(ctx context.Context, pts []geom.Point, filter lbs.Filter,
-	group [][]int, sink func(pos int, recs []lbs.LRRecord)) error {
+	group [][]int, probes []bool,
+	sink func(pos int, recs []lbs.LRRecord, degraded bool),
+	onErr func(si int, err error)) error {
 
 	var targets []int
 	for si, positions := range group {
@@ -353,39 +613,50 @@ func (r *Router) shardBatches(ctx context.Context, pts []geom.Point, filter lbs.
 			targets = append(targets, si)
 		}
 	}
-	answers, err := fanOut(targets, func(si int) ([][]lbs.LRRecord, error) {
-		positions := group[si]
-		sub := make([]geom.Point, len(positions))
-		for j, p := range positions {
-			sub[j] = pts[p]
-		}
-		a, err := r.shards[si].Querier.QueryLRBatch(ctx, sub, filter)
-		r.fanout.Add(int64(len(sub)))
-		return a, err
+	answers, errs := fanOutAll(targets, func(j, si int) ([][]lbs.LRRecord, error) {
+		probe := probes != nil && probes[si]
+		return memberCall(r, ctx, si, probe, func(c context.Context, mq lbs.Querier) ([][]lbs.LRRecord, error) {
+			positions := group[si]
+			sub := make([]geom.Point, len(positions))
+			for j, p := range positions {
+				sub[j] = pts[p]
+			}
+			a, err := mq.QueryLRBatch(c, sub, filter)
+			r.fanout.Add(int64(len(sub)))
+			return a, err
+		})
 	})
-	if err != nil {
-		return err
-	}
 	for t, si := range targets {
+		err := errs[t]
+		if err != nil && !lbs.IsPartial(err) {
+			if !r.availabilityClass(ctx, err) {
+				return err
+			}
+			onErr(si, err)
+			continue
+		}
+		degraded := lbs.IsPartial(err)
 		for j, p := range group[si] {
-			sink(p, answers[t][j])
+			sink(p, answers[t][j], degraded)
 		}
 	}
 	return nil
 }
 
 // QueryLR implements lbs.Querier: one logical unit of budget, however
-// wide the physical fan-out. A shard failure refunds the unit.
+// wide the physical fan-out. A degraded answer keeps its charge (it is
+// an answer, annotated with *lbs.PartialError); a failed query refunds
+// the unit.
 func (r *Router) QueryLR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LRRecord, error) {
 	if _, err := r.chargeN(ctx, 1); err != nil {
 		return nil, err
 	}
 	recs, err := r.scatterOne(ctx, q, filter)
-	if err != nil {
+	if err != nil && !lbs.IsPartial(err) {
 		r.refund(1)
 		return nil, err
 	}
-	return recs, nil
+	return recs, err
 }
 
 // QueryLNR implements lbs.Querier: the federated LNR answer is the LR
@@ -395,10 +666,10 @@ func (r *Router) QueryLR(ctx context.Context, q geom.Point, filter lbs.Filter) (
 // not between its shards).
 func (r *Router) QueryLNR(ctx context.Context, q geom.Point, filter lbs.Filter) ([]lbs.LNRRecord, error) {
 	recs, err := r.QueryLR(ctx, q, filter)
-	if err != nil {
+	if err != nil && !lbs.IsPartial(err) {
 		return nil, err
 	}
-	return stripLocations(recs), nil
+	return stripLocations(recs), err
 }
 
 // stripLocations converts an LR answer to its rank-only view.
@@ -408,21 +679,36 @@ func stripLocations(recs []lbs.LRRecord) []lbs.LNRRecord {
 
 // QueryLRBatch implements lbs.Querier with Service batch semantics:
 // one atomic logical reservation, index-aligned answers, nil entries
-// past a mid-batch budget death alongside ErrBudgetExhausted. A shard
-// failure fails the whole batch and refunds every reserved unit.
+// past a mid-batch budget death alongside ErrBudgetExhausted. Shard
+// failures degrade per position — answered positions (including
+// degraded ones) keep their charge, and only the units of positions
+// that got no answer are refunded.
 func (r *Router) QueryLRBatch(ctx context.Context, pts []geom.Point, filter lbs.Filter) ([][]lbs.LRRecord, error) {
 	out := make([][]lbs.LRRecord, len(pts))
 	granted, gerr := r.chargeN(ctx, int64(len(pts)))
 	if granted == 0 {
 		return out, gerr
 	}
-	answers, err := r.scatterBatch(ctx, pts[:granted], filter)
-	if err != nil {
+	answers, serr := r.scatterBatch(ctx, pts[:granted], filter)
+	if serr != nil && !lbs.IsPartial(serr) {
 		r.refund(granted)
-		return make([][]lbs.LRRecord, len(pts)), err
+		return make([][]lbs.LRRecord, len(pts)), serr
 	}
-	copy(out, answers)
-	return out, gerr
+	var answered int64
+	for i, recs := range answers {
+		if recs != nil {
+			out[i] = recs
+			answered++
+		}
+	}
+	r.refund(granted - answered)
+	if gerr != nil {
+		// A partial *grant* dominates the annotation: positions past
+		// the granted prefix are nil-with-ErrBudgetExhausted, the
+		// contract every batch caller already understands.
+		return out, gerr
+	}
+	return out, serr
 }
 
 // QueryLNRBatch is the rank-only twin of QueryLRBatch.

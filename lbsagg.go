@@ -271,6 +271,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/httpapi"
 	"repro/internal/jobs"
@@ -407,6 +408,101 @@ func NewShardedService(db *Database, opts ServiceOptions, n int) (*ShardRouter, 
 func NewShardRouter(shards []Shard, opts ServiceOptions) (*ShardRouter, error) {
 	return shard.NewRouter(shards, opts)
 }
+
+// Fault-tolerance types (see README "Operating under failure").
+type (
+	// Resilience configures the router's failure handling: per-shard
+	// call deadlines, bounded retry of transient errors, hedged
+	// requests to replicas, and the per-shard circuit breaker.
+	Resilience = shard.Resilience
+	// BreakerState is a member's circuit-breaker state (closed / open
+	// / half-open), reported in ShardStat and /v1/stats.
+	BreakerState = shard.BreakerState
+	// PartialAnswerError annotates a usable answer drawn from a
+	// partial federation (a member down or routed around): Degraded
+	// counts degraded answers, Dropped lost batch positions, Missing
+	// skipped members. It travels alongside records, not instead of
+	// them.
+	PartialAnswerError = lbs.PartialError
+	// TolerantQuerier absorbs partial-answer annotations from a
+	// wrapped Querier so estimation layers see clean answers while the
+	// degraded counters still accumulate.
+	TolerantQuerier = lbs.TolerantQuerier
+	// FaultSpec configures a deterministic fault injector: transient
+	// error rates, crash-recover windows, injected latency, slow-shard
+	// and duplicate-delivery modes.
+	FaultSpec = faults.Spec
+	// FaultInjector wraps any Querier with seed-deterministic injected
+	// faults; Kill/Revive flip availability mid-run.
+	FaultInjector = faults.Injector
+	// FaultStats snapshots an injector's fault counters.
+	FaultStats = faults.Stats
+)
+
+// Circuit-breaker states.
+const (
+	BreakerClosed   = shard.BreakerClosed
+	BreakerOpen     = shard.BreakerOpen
+	BreakerHalfOpen = shard.BreakerHalfOpen
+)
+
+// Typed federation failures.
+var (
+	// ErrOwnerDown reports that the member owning the query point is
+	// unavailable — the one failure scatter-gather cannot degrade
+	// around (match with errors.Is; the concrete error also carries
+	// the shard index).
+	ErrOwnerDown = shard.ErrOwnerDown
+	// ErrNoShards reports that every member's breaker is open.
+	ErrNoShards = shard.ErrNoShards
+	// ErrShardTimeout reports a member call exceeding
+	// Resilience.ShardTimeout.
+	ErrShardTimeout = shard.ErrShardTimeout
+)
+
+// DefaultResilience returns the production failure-handling defaults:
+// 10s shard timeout, 2 retries with jittered backoff, hedging at the
+// p95 latency estimate, and a 5-failure breaker with 1s cooldown.
+func DefaultResilience() Resilience { return shard.DefaultResilience() }
+
+// NewResilientShardRouter federates explicit members with the given
+// failure handling; NewShardRouter is equivalent to resilience left
+// zero (every mechanism off — strict bit-identical scatter-gather).
+func NewResilientShardRouter(shards []Shard, opts ServiceOptions, res Resilience) (*ShardRouter, error) {
+	return shard.NewRouterWithResilience(shards, opts, res)
+}
+
+// NewShardedServiceWrapped partitions db into n in-process shard
+// services, passing each member querier through wrap (index, querier)
+// before federating — the hook chaos tests use to install fault
+// injectors per member. A nil wrap federates the bare services.
+func NewShardedServiceWrapped(db *Database, opts ServiceOptions, n int, res Resilience,
+	wrap func(i int, q Querier) Querier) (*ShardRouter, error) {
+	return shard.FromPartsWrapped(shard.Partition(db, n), opts, res, wrap)
+}
+
+// NewFaultInjector wraps inner with deterministic injected faults per
+// spec. The same seed replays the same fault schedule.
+func NewFaultInjector(inner Querier, spec FaultSpec) *FaultInjector {
+	return faults.New(inner, spec)
+}
+
+// ParseFaultSpec parses the comma-separated key=value fault-spec
+// syntax of the lbsserve -fault-spec flag (e.g.
+// "seed=7,transient=0.05,latency=2ms,sigma=0.6").
+func ParseFaultSpec(s string) (FaultSpec, error) { return faults.ParseSpec(s) }
+
+// NewTolerantQuerier wraps inner so partial-answer annotations are
+// absorbed (counted, not surfaced) — what the job manager installs
+// over a resilient federation.
+func NewTolerantQuerier(inner Querier) *TolerantQuerier {
+	return lbs.NewTolerantQuerier(inner)
+}
+
+// IsPartialAnswer reports whether err is (or wraps) a partial-answer
+// annotation, returning it when so. The records returned alongside
+// the error are valid — degraded, not wrong.
+func IsPartialAnswer(err error) (*PartialAnswerError, bool) { return lbs.AsPartial(err) }
 
 // Live-database types (mutable backends; see the package overview).
 type (

@@ -2,8 +2,10 @@ package lbsagg_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	lbsagg "repro"
 )
@@ -122,5 +124,50 @@ func TestFacadeFederation(t *testing.T) {
 	}
 	if st := router.Stats(); st.Logical == 0 || len(st.Shards) != 4 {
 		t.Fatalf("router stats: %+v", st)
+	}
+}
+
+// TestFacadeFaultTolerance exercises the failure-handling exports: a
+// resilient federation with per-member fault injectors survives a
+// member kill, answers degraded with a partial annotation, and a
+// tolerant wrapper absorbs the annotation for estimation layers.
+func TestFacadeFaultTolerance(t *testing.T) {
+	sc := lbsagg.USASchools(150, 4)
+	inj := make([]*lbsagg.FaultInjector, 2)
+	router, err := lbsagg.NewShardedServiceWrapped(sc.DB, lbsagg.ServiceOptions{K: 10}, 2,
+		lbsagg.Resilience{BreakerThreshold: 1, BreakerCooldown: time.Hour, Seed: 1},
+		func(i int, q lbsagg.Querier) lbsagg.Querier {
+			inj[i] = lbsagg.NewFaultInjector(q, lbsagg.FaultSpec{Seed: int64(i)})
+			return inj[i]
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dead := router.Stats().Shards[1].Region.Center()
+	inj[1].Kill()
+	if _, err := router.QueryLR(ctx, dead, nil); !errors.Is(err, lbsagg.ErrOwnerDown) {
+		t.Fatalf("owner down: %v", err)
+	}
+	if st := router.Stats(); st.Shards[1].State != lbsagg.BreakerOpen {
+		t.Fatalf("breaker state: %s", st.Shards[1].State)
+	}
+	recs, err := router.QueryLR(ctx, dead, nil)
+	pe, ok := lbsagg.IsPartialAnswer(err)
+	if !ok || len(recs) == 0 || pe.Degraded != 1 {
+		t.Fatalf("degraded answer: %d recs, %v", len(recs), err)
+	}
+	tol := lbsagg.NewTolerantQuerier(router)
+	if _, err := tol.QueryLR(ctx, dead, nil); err != nil {
+		t.Fatalf("tolerant wrapper surfaced: %v", err)
+	}
+	if tol.DegradedCount() == 0 {
+		t.Fatal("tolerant wrapper did not count the degraded answer")
+	}
+	if spec, err := lbsagg.ParseFaultSpec("seed=3,transient=0.1"); err != nil || spec.TransientRate != 0.1 {
+		t.Fatalf("ParseFaultSpec: %+v, %v", spec, err)
+	}
+	if lbsagg.DefaultResilience().BreakerThreshold == 0 {
+		t.Fatal("default resilience leaves the breaker off")
 	}
 }
