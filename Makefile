@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json bench-planner bench-planner-json bench-chaos bench-chaos-json
+.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json bench-planner bench-planner-json bench-chaos bench-chaos-json bench-store bench-store-json
 
 all: fmt vet build test
 
@@ -122,6 +122,24 @@ bench-chaos-json:
 	$(GO) test -run '^$$' -bench '$(CHAOS_BENCH)' -benchtime 1x ./internal/experiments > bench_chaos.out
 	$(GO) run ./cmd/benchjson -o BENCH_chaos.json < bench_chaos.out
 	@rm -f bench_chaos.out
+
+# The storage-engine suite: cold restart (re-parse the JSON export,
+# rebuild the index from scratch) versus warm restart (paged scan of
+# the .lbspack, O(n) preordered index rebuild) on the same 10k-tuple
+# city — the warm row must come in well under the cold one (the
+# acceptance floor is 5x) — plus a bounded-pool scan in the
+# larger-than-RAM shape and the WAL append hot path.
+STORE_BENCH = BenchmarkColdStartJSON10k|BenchmarkWarmStartPack10k|BenchmarkPackScanBoundedPool|BenchmarkWALAppend
+
+bench-store:
+	$(GO) test -run '^$$' -bench '$(STORE_BENCH)' -benchmem ./internal/store
+
+# bench-store-json records the storage suite in BENCH_store.json (same
+# baseline-preserving layout as bench-json; self-primes on first run).
+bench-store-json:
+	$(GO) test -run '^$$' -bench '$(STORE_BENCH)' -benchmem ./internal/store > bench_store.out
+	$(GO) run ./cmd/benchjson -o BENCH_store.json < bench_store.out
+	@rm -f bench_store.out
 
 # bench-smoke compiles and runs every benchmark once — the CI guard
 # that keeps bench code from rotting.

@@ -47,6 +47,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/lbs"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -123,7 +124,7 @@ func runRemote(ctx context.Context, baseURL string, spec jobs.Spec, aggsJSON str
 // planner against a generated workload and prints the planner's
 // decisions: the compiled groups, every checkpoint budget
 // re-allocation, and the per-group account.
-func runPlanLocal(ctx context.Context, cfg experiments.Config, method, aggsJSON string, samples int, targetCI float64) error {
+func runPlanLocal(ctx context.Context, cfg experiments.Config, method, aggsJSON, dataset string, samples int, targetCI float64) error {
 	var specs []core.AggSpec
 	if err := json.Unmarshal([]byte(aggsJSON), &specs); err != nil {
 		return fmt.Errorf("parsing -aggs: %w", err)
@@ -151,20 +152,31 @@ func runPlanLocal(ctx context.Context, cfg experiments.Config, method, aggsJSON 
 			gi, g.Method, g.Seed, g.CostPerSample, g.Specs, names)
 	}
 
-	sc := workload.USASchools(cfg.N, cfg.Seed)
+	var db *lbs.Database
+	var name string
+	if dataset != "" {
+		var err error
+		if db, err = store.LoadDataset(dataset, 0, nil); err != nil {
+			return err
+		}
+		name = dataset
+	} else {
+		sc := workload.USASchools(cfg.N, cfg.Seed)
+		db, name = sc.DB, sc.Name
+	}
 	opts := lbs.Options{K: cfg.K}
 	var svc core.Oracle
 	if cfg.Shards > 1 {
-		router, err := shard.FromParts(shard.Partition(sc.DB, cfg.Shards), opts)
+		router, err := shard.FromParts(shard.Partition(db, cfg.Shards), opts)
 		if err != nil {
 			return err
 		}
 		svc = router
 	} else {
-		svc = lbs.NewService(sc.DB, opts)
+		svc = lbs.NewService(db, opts)
 	}
 	fmt.Printf("running over %s n=%d k=%d (budget=%d shards=%d)\n",
-		sc.Name, cfg.N, cfg.K, cfg.Budget, cfg.Shards)
+		name, db.Len(), cfg.K, cfg.Budget, cfg.Shards)
 
 	br, err := plan.Execute(ctx, svc, nil)
 	if err != nil {
@@ -218,6 +230,7 @@ func main() {
 		targetCI    = flag.Float64("target-ci", 0, "stop once every aggregate's 95% CI half-width ≤ rel × |estimate| (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "remote job worker parallelism (0/1 = serial)")
 		trace       = flag.Bool("trace", false, "stream the remote job's trace to stdout")
+		dataset     = flag.String("dataset", "", "with -aggs (local planner mode): run over this dataset file (lbsgen JSON or .lbspack) instead of the generated workload")
 	)
 	flag.Parse()
 	aggsSet := false
@@ -290,7 +303,7 @@ func main() {
 	// An explicit -aggs without -remote runs the batch through the
 	// local multi-aggregate query planner instead of the experiments.
 	if aggsSet {
-		if err := runPlanLocal(ctx, cfg, *method, *aggs, *samples, *targetCI); err != nil {
+		if err := runPlanLocal(ctx, cfg, *method, *aggs, *dataset, *samples, *targetCI); err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "interrupted")
 				os.Exit(130)

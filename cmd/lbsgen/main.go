@@ -1,11 +1,19 @@
-// Command lbsgen generates a synthetic LBS dataset as JSON, for
-// inspection or for loading into external tools. Scenarios mirror the
-// paper's evaluation data (see internal/workload).
+// Command lbsgen generates a synthetic LBS dataset, as JSON for
+// inspection or loading into external tools, or — when -o ends in
+// .lbspack — directly in the paged on-disk format of internal/store,
+// so large synthetic cities are generated once and then opened by
+// lbsserve/lbsbench without re-parsing. Scenarios mirror the paper's
+// evaluation data (see internal/workload).
 //
 // Usage:
 //
 //	lbsgen -scenario schools -n 2000 -seed 7 > schools.json
 //	lbsgen -scenario wechat -n 5000 -o users.json
+//	lbsgen -scenario wechat -n 500000 -o city.lbspack
+//	lbsserve -dataset city.lbspack -addr :8080
+//
+// The .lbspack form also preserves effective (obfuscated) locations,
+// which the JSON export does not carry.
 package main
 
 import (
@@ -14,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -62,6 +72,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
+	}
+
+	if strings.HasSuffix(strings.ToLower(*out), ".lbspack") {
+		if err := store.WritePack(*out, sc.DB, 0, 0, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ds := jsonDataset{

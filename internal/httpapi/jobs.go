@@ -33,6 +33,7 @@ import (
 	"repro/internal/lbs"
 	"repro/internal/live"
 	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // maxEstimateBodyBytes bounds a job submission body; specs are small
@@ -135,6 +136,9 @@ type cacheStatsView struct {
 	// capacity evictions.
 	Invalidations int64 `json:"invalidations"`
 	Entries       int64 `json:"entries"`
+	// Restored counts entries loaded from a durable snapshot at startup
+	// (warm restart); omitted on ephemeral caches.
+	Restored int64 `json:"restored,omitempty"`
 }
 
 // liveStatsView is the wire form of live.Stats.
@@ -254,6 +258,11 @@ type statsResponse struct {
 	// Live reports mutation counters when the backend chain (or the
 	// configured Mutator) is a live database or cluster.
 	Live *liveStatsView `json:"live,omitempty"`
+	// Store reports the durable storage engine's counters (pages read
+	// and written, buffer-pool hit rate, WAL volume, recovery counts)
+	// when the server runs with -data-dir; the chain walk finds the
+	// store.Instrumented wrapper wherever it sits in the stack.
+	Store *store.Stats `json:"store,omitempty"`
 	// Jobs counts retained estimation jobs by state.
 	Jobs map[jobs.State]int `json:"jobs"`
 }
@@ -282,7 +291,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				resp.Cache = &cacheStatsView{
 					Hits: st.Hits, Misses: st.Misses, Bypasses: st.Bypasses,
 					Evictions: st.Evictions, Invalidations: st.Invalidations,
-					Entries: st.Entries,
+					Entries: st.Entries, Restored: st.Restored,
 				}
 			}
 		}
@@ -324,6 +333,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if resp.Live == nil {
 			if ls, ok := q.(interface{ LiveStats() live.Stats }); ok {
 				resp.Live = liveViewOf(ls.LiveStats())
+			}
+		}
+		if resp.Store == nil {
+			if ss, ok := q.(interface{ StoreStats() store.Stats }); ok {
+				st := ss.StoreStats()
+				resp.Store = &st
 			}
 		}
 		if rb, ok := q.(interface{ RemainingBudget() int64 }); ok {

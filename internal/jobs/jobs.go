@@ -256,7 +256,12 @@ type View struct {
 	Results []ResultView `json:"results,omitempty"`
 	// Plan describes the compiled multi-aggregate plan (planner path
 	// only).
-	Plan       *PlanView  `json:"plan,omitempty"`
+	Plan *PlanView `json:"plan,omitempty"`
+	// Resumed marks a job recovered from a durable store and re-run
+	// after a restart (same ID, seed and budget as the original
+	// submission, so the final estimate is the one the lost run would
+	// have produced).
+	Resumed    bool       `json:"resumed,omitempty"`
 	CreatedAt  time.Time  `json:"created_at"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 }
@@ -270,6 +275,14 @@ type ManagerOptions struct {
 	// DefaultMaxQueries is applied to jobs that set no MaxQueries of
 	// their own (0 = no default, jobs run until the service refuses).
 	DefaultMaxQueries int64
+	// Store, when set, makes jobs durable: specs persist at creation,
+	// views checkpoint every CheckpointEvery samples and at settle, and
+	// Recover reloads the table after a restart (finished jobs keep
+	// their results; interrupted jobs re-run deterministically).
+	Store Store
+	// CheckpointEvery is the sample interval between durable view
+	// checkpoints of a running job (default 256 when a Store is set).
+	CheckpointEvery int
 }
 
 // Manager owns the job table and the shared backend every job queries
@@ -289,6 +302,9 @@ type Manager struct {
 func NewManager(backend lbs.Querier, opts ManagerOptions) *Manager {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 1024
+	}
+	if opts.Store != nil && opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 256
 	}
 	return &Manager{
 		backend: backend,
@@ -313,11 +329,19 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu      sync.Mutex
-	state   State
-	err     error
-	results []core.Result // finished: plan-level results
-	partial []core.Result // legacy running: physical partials from progress
+	// durability (nil/zero on an ephemeral manager).
+	persist   Store
+	ckptEvery int
+	resumed   bool
+	saves     sync.WaitGroup // in-flight async checkpoint writes
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	lastCkpt int           // samples at the last durable checkpoint
+	frozen   *View         // recovered finished job: the stored view, verbatim
+	results  []core.Result // finished: plan-level results
+	partial  []core.Result // legacy running: physical partials from progress
 	// planner-path run state, fed by onPlanProgress.
 	planPartial []core.Result     // per requested aggregate
 	planStats   []planGroupStat   // per method group, live
@@ -357,6 +381,14 @@ func (m *Manager) Create(spec Spec) (*Job, error) {
 	if spec.Options.MaxQueries == 0 && m.opts.DefaultMaxQueries > 0 {
 		spec.Options.MaxQueries = m.opts.DefaultMaxQueries
 	}
+	return m.start(spec, "", false)
+}
+
+// start compiles a validated spec and launches its job. id is empty
+// for fresh submissions (the manager allocates the next "job-<seq>");
+// recovery passes the original ID back in so clients polling a
+// pre-restart job find it again.
+func (m *Manager) start(spec Spec, id string, resumed bool) (*Job, error) {
 	// Parallelism ≤ 1 runs through the multi-aggregate query planner:
 	// predicates dedup across the batch, same-selection aggregates fuse,
 	// and the job's budget is re-allocated across method groups by
@@ -388,8 +420,10 @@ func (m *Manager) Create(spec Spec) (*Job, error) {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d running jobs)", ErrTableFull, n)
 	}
-	m.seq++
-	id := "job-" + strconv.FormatInt(m.seq, 10)
+	if id == "" {
+		m.seq++
+		id = "job-" + strconv.FormatInt(m.seq, 10)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	// Scope over tolerance: the scope meters logical queries (degraded
 	// answers included — they are answers) while the tolerant layer
@@ -404,6 +438,9 @@ func (m *Manager) Create(spec Spec) (*Job, error) {
 		tol:       tol,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		persist:   m.opts.Store,
+		ckptEvery: m.opts.CheckpointEvery,
+		resumed:   resumed,
 		state:     StateRunning,
 		traceWake: make(chan struct{}),
 		createdAt: time.Now(),
@@ -412,6 +449,11 @@ func (m *Manager) Create(spec Spec) (*Job, error) {
 	m.order = append(m.order, id)
 	m.mu.Unlock()
 
+	if j.persist != nil {
+		// The spec is durable before the run starts: a crash between
+		// submission and the first checkpoint still recovers the job.
+		_ = j.persist.Save(j.storedView())
+	}
 	go j.run(ctx)
 	return j, nil
 }
@@ -429,6 +471,10 @@ func (m *Manager) evictOldestFinishedLocked() bool {
 		if finished {
 			delete(m.jobs, id)
 			m.order = append(m.order[:i], m.order[i+1:]...)
+			if m.opts.Store != nil {
+				// Evicted means forgotten: recovery must not resurrect it.
+				_ = m.opts.Store.Delete(id)
+			}
 			return true
 		}
 	}
@@ -533,6 +579,7 @@ func buildEstimator(method string, svc core.Oracle, seed int64) core.Estimator {
 // run executes the estimation and settles the job.
 func (j *Job) run(ctx context.Context) {
 	defer close(j.done)
+	defer j.persistSettle() // runs after the settle below, before done closes
 	if j.qplan != nil {
 		j.runPlanned(ctx)
 		return
@@ -621,6 +668,7 @@ func (j *Job) onProgress(points []core.TracePoint) {
 		}
 	}
 	j.trimTraceLocked()
+	j.maybeCheckpointLocked()
 	j.wakeLocked()
 }
 
@@ -657,6 +705,7 @@ func (j *Job) onPlanProgress(pp core.PlanProgress) {
 	}
 	j.planStats[pp.Group] = planGroupStat{Samples: pp.GroupSamples, Queries: pp.GroupQueries}
 	j.trimTraceLocked()
+	j.maybeCheckpointLocked()
 	j.wakeLocked()
 }
 
@@ -695,6 +744,16 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) Snapshot() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.viewLocked()
+}
+
+// viewLocked assembles the job's view; callers hold j.mu. A recovered
+// finished job returns its stored view verbatim — its in-memory run
+// state (plans, scoped meter, trace) did not survive the restart.
+func (j *Job) viewLocked() View {
+	if j.frozen != nil {
+		return *j.frozen
+	}
 	v := View{
 		ID:              j.ID,
 		State:           j.state,
@@ -704,6 +763,7 @@ func (j *Job) Snapshot() View {
 		DegradedSamples: j.degraded,
 		DegradedQueries: j.tol.DegradedCount(),
 		TraceLen:        j.traceBase + len(j.trace),
+		Resumed:         j.resumed,
 		CreatedAt:       j.createdAt,
 	}
 	if j.err != nil {

@@ -19,7 +19,9 @@ package kdtree
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -58,8 +60,109 @@ func BuildOwned(pts []geom.Point) *Tree {
 		idx[i] = i
 	}
 	t.nodes = make([]node, 0, len(pts))
-	t.build(idx, 0)
+	if len(pts) >= parallelBuildMin && runtime.GOMAXPROCS(0) > 1 {
+		t.buildParallel(idx)
+	} else {
+		t.build(idx, 0)
+	}
 	return t
+}
+
+// parallelBuildMin is the point count below which a parallel build is
+// not worth the goroutine overhead.
+const parallelBuildMin = 4096
+
+// subtask is one subtree handed to a build worker: the index window it
+// owns, the depth its root sits at, and the fragment it produced.
+type subtask struct {
+	idx   []int
+	depth int
+	frag  []node
+}
+
+// buildParallel splits the build: the top spineLevels of the tree are
+// partitioned sequentially (cheap — a few quickselects over the full
+// window), and the 2^spineLevels remaining subtrees build concurrently
+// into private node fragments over disjoint index windows. Fragments
+// splice back in with an offset shift, so the resulting tree is
+// structurally identical to a sequential build up to node layout —
+// median selection is deterministic, and queries never observe layout.
+func (t *Tree) buildParallel(idx []int) {
+	levels := 2
+	if runtime.GOMAXPROCS(0) >= 8 {
+		levels = 3
+	}
+	var tasks []subtask
+	t.spine(idx, 0, levels, &tasks)
+	spineLen := len(t.nodes)
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		go func(st *subtask) {
+			defer wg.Done()
+			f := Tree{pts: t.pts, nodes: make([]node, 0, len(st.idx))}
+			f.build(st.idx, st.depth)
+			st.frag = f.nodes
+		}(&tasks[i])
+	}
+	wg.Wait()
+	offs := make([]int32, len(tasks))
+	for i := range tasks {
+		offs[i] = t.splice(tasks[i].frag)
+	}
+	// Patch the spine's task references (encoded ≤ −2) to the spliced
+	// fragment roots.
+	for i := 0; i < spineLen; i++ {
+		if v := t.nodes[i].left; v <= -2 {
+			t.nodes[i].left = offs[-2-v]
+		}
+		if v := t.nodes[i].right; v <= -2 {
+			t.nodes[i].right = offs[-2-v]
+		}
+	}
+}
+
+// spine builds the top levels of the tree sequentially; where levels
+// run out it records a subtask and returns an encoded reference
+// (−2−taskIndex) for buildParallel to patch after the joins.
+func (t *Tree) spine(idx []int, depth, levels int, tasks *[]subtask) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	if levels == 0 {
+		*tasks = append(*tasks, subtask{idx: idx, depth: depth})
+		return -2 - int32(len(*tasks)-1)
+	}
+	axis := uint8(depth % 2)
+	mid := len(idx) / 2
+	t.selectMedian(idx, mid, axis)
+	off := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{idx: idx[mid], axis: axis})
+	l := t.spine(idx[:mid], depth+1, levels-1, tasks)
+	r := t.spine(idx[mid+1:], depth+1, levels-1, tasks)
+	t.nodes[off].left = l
+	t.nodes[off].right = r
+	return off
+}
+
+// splice appends a privately built fragment to the node arena and
+// returns its root's offset, shifting the fragment's internal child
+// pointers (fragments are preorder, so the root is entry 0).
+func (t *Tree) splice(frag []node) int32 {
+	if len(frag) == 0 {
+		return -1
+	}
+	base := int32(len(t.nodes))
+	for i := range frag {
+		if frag[i].left >= 0 {
+			frag[i].left += base
+		}
+		if frag[i].right >= 0 {
+			frag[i].right += base
+		}
+	}
+	t.nodes = append(t.nodes, frag...)
+	return base
 }
 
 // build recursively partitions idx around the median along the given
@@ -147,6 +250,69 @@ func (t *Tree) selectMedian(idx []int, nth int, axis uint8) {
 			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
+}
+
+// PreorderIndices returns the point indices in the tree's preorder
+// (root, left subtree, right subtree). A point set stored in this
+// order can be re-indexed by BuildPreordered without any median
+// selection: the median-at-len/2 build makes the tree shape a pure
+// function of the point count, so preorder position alone determines
+// structure.
+func (t *Tree) PreorderIndices() []int {
+	out := make([]int, 0, len(t.nodes))
+	if len(t.nodes) == 0 {
+		return out
+	}
+	stack := make([]int32, 1, maxTraversalDepth)
+	stack[0] = 0
+	for len(stack) > 0 {
+		off := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[off]
+		out = append(out, n.idx)
+		if n.right >= 0 {
+			stack = append(stack, n.right)
+		}
+		if n.left >= 0 {
+			stack = append(stack, n.left)
+		}
+	}
+	return out
+}
+
+// BuildPreordered constructs a tree over pts already arranged in the
+// preorder of a median-balanced build (as reported by
+// PreorderIndices). It takes ownership of pts like BuildOwned, and
+// runs in O(n) with no comparisons: the subtree sizes replay the
+// exact shape build would have produced, and the partitioning
+// invariant is inherited from the order in which the points were
+// laid out. Callers must only feed it genuinely preordered data (the
+// store's pack format guarantees this for checksummed files).
+func BuildPreordered(pts []geom.Point) *Tree {
+	t := &Tree{pts: pts}
+	if len(pts) == 0 {
+		return t
+	}
+	t.nodes = make([]node, 0, len(pts))
+	t.buildPre(0, len(pts), 0)
+	return t
+}
+
+// buildPre lays out the subtree whose preorder window is
+// [lo, lo+n): the root sits at lo, its left subtree (⌊n/2⌋ points)
+// follows immediately, the right subtree takes the rest.
+func (t *Tree) buildPre(lo, n, depth int) int32 {
+	if n == 0 {
+		return -1
+	}
+	mid := n / 2
+	off := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{idx: lo, axis: uint8(depth % 2)})
+	left := t.buildPre(lo+1, mid, depth+1)
+	right := t.buildPre(lo+1+mid, n-mid-1, depth+1)
+	t.nodes[off].left = left
+	t.nodes[off].right = right
+	return off
 }
 
 // Len returns the number of indexed points.

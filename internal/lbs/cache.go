@@ -54,6 +54,7 @@ type CacheStats struct {
 	Bypasses      int64 // untrusted filtered queries forwarded uncached
 	Evictions     int64 // entries dropped by LRU pressure
 	Invalidations int64 // entries dropped by mutation (Invalidate/InvalidateAll)
+	Restored      int64 // entries loaded from a persisted snapshot (warm restart)
 	Entries       int64 // entries currently resident
 }
 
@@ -171,6 +172,7 @@ type CachedOracle struct {
 	bypasses      atomic.Int64
 	evictions     atomic.Int64
 	invalidations atomic.Int64
+	restored      atomic.Int64
 }
 
 var _ Querier = (*CachedOracle)(nil)
@@ -265,6 +267,7 @@ func (c *CachedOracle) Stats() CacheStats {
 		Bypasses:      c.bypasses.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Restored:      c.restored.Load(),
 		Entries:       entries,
 	}
 }

@@ -1,0 +1,118 @@
+package lbs
+
+// Cache persistence: a CachedOracle can snapshot its recorded answers
+// to a stream and restore them on the next process start, so a warm
+// restart keeps the hit rate a long-running gateway accumulated
+// instead of re-spending budget on queries it already paid for.
+//
+// The snapshot is a point-in-time copy, not a live mirror: write it at
+// graceful shutdown (after the last mutation-driven invalidation) and
+// read it exactly once at startup, before serving. A snapshot whose
+// configuration (k, selection label, quantum) does not match the
+// restoring cache is rejected whole — replaying answers recorded under
+// a different key geometry would serve wrong results, and a cold cache
+// is always safe.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCacheSnapshotMismatch is returned by ReadSnapshot when the
+// snapshot was recorded under a different cache configuration (k,
+// selection or quantum). The caller should log it and serve cold.
+var ErrCacheSnapshotMismatch = errors.New("lbs: cache snapshot configuration mismatch")
+
+// cacheSnapshotVersion guards the gob stream layout; bump on any
+// change to the header or entry shapes.
+const cacheSnapshotVersion = 1
+
+// cacheSnapshotHeader pins the key geometry the entries were recorded
+// under.
+type cacheSnapshotHeader struct {
+	Version   int
+	K         int
+	Selection string
+	Quantum   float64
+	Entries   int
+}
+
+// cacheSnapshotEntry is the wire form of one recorded answer. QX/QY
+// are the raw key words (quantized cell indices, or Float64bits of the
+// exact point), preserved exactly.
+type cacheSnapshotEntry struct {
+	Kind   uint8
+	QX, QY uint64
+	LR     []LRRecord
+	LNR    []LNRRecord
+}
+
+// WriteSnapshot serializes every resident entry to w. Concurrent
+// queries may proceed — each shard is locked only while copied — but
+// the snapshot then represents no single instant; write it when the
+// cache is quiescent (shutdown).
+func (c *CachedOracle) WriteSnapshot(w io.Writer) error {
+	var entries []cacheSnapshotEntry
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			// Back-to-front: oldest first, so restoring preserves the
+			// recency order within each shard.
+			e := el.Value.(*cacheEntry)
+			entries = append(entries, cacheSnapshotEntry{
+				Kind: e.key.kind, QX: e.key.qx, QY: e.key.qy,
+				LR: e.lr, LNR: e.lnr,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(cacheSnapshotHeader{
+		Version: cacheSnapshotVersion, K: c.inner.K(),
+		Selection: c.sel, Quantum: c.quantum, Entries: len(entries),
+	}); err != nil {
+		return fmt.Errorf("lbs: cache snapshot header: %w", err)
+	}
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("lbs: cache snapshot entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot restores entries recorded by WriteSnapshot into the
+// cache and returns how many were loaded. A header mismatch returns
+// ErrCacheSnapshotMismatch and loads nothing; a decode error mid-
+// stream keeps the entries already loaded (they are individually
+// valid) and reports the error. Restored entries count toward
+// CacheStats.Restored, not Misses.
+func (c *CachedOracle) ReadSnapshot(r io.Reader) (int, error) {
+	dec := gob.NewDecoder(r)
+	var h cacheSnapshotHeader
+	if err := dec.Decode(&h); err != nil {
+		return 0, fmt.Errorf("lbs: cache snapshot header: %w", err)
+	}
+	if h.Version != cacheSnapshotVersion {
+		return 0, fmt.Errorf("%w: version %d (want %d)", ErrCacheSnapshotMismatch, h.Version, cacheSnapshotVersion)
+	}
+	if h.K != c.inner.K() || h.Selection != c.sel || h.Quantum != c.quantum {
+		return 0, fmt.Errorf("%w: recorded (k=%d sel=%q quantum=%g), cache (k=%d sel=%q quantum=%g)",
+			ErrCacheSnapshotMismatch, h.K, h.Selection, h.Quantum, c.inner.K(), c.sel, c.quantum)
+	}
+	loaded := 0
+	for i := 0; i < h.Entries; i++ {
+		var e cacheSnapshotEntry
+		if err := dec.Decode(&e); err != nil {
+			c.restored.Add(int64(loaded))
+			return loaded, fmt.Errorf("lbs: cache snapshot entry %d: %w", i, err)
+		}
+		key := cacheKey{kind: e.Kind, k: h.K, qx: e.QX, qy: e.QY, sel: h.Selection}
+		c.store(&cacheEntry{key: key, lr: e.LR, lnr: e.LNR})
+		loaded++
+	}
+	c.restored.Add(int64(loaded))
+	return loaded, nil
+}

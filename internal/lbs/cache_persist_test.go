@@ -1,0 +1,149 @@
+package lbs_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+func cacheFixture(t *testing.T, opts lbs.CacheOptions) (*lbs.CachedOracle, *lbs.Service, []geom.Point) {
+	t.Helper()
+	sc := workload.USASchools(300, 3)
+	svc := lbs.NewService(sc.DB, lbs.Options{K: 5})
+	c := lbs.NewCachedOracle(svc, opts)
+	b := sc.DB.Bounds()
+	var pts []geom.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geom.Pt(
+			b.Min.X+(b.Max.X-b.Min.X)*float64(i)/19,
+			b.Min.Y+(b.Max.Y-b.Min.Y)*float64(i)/19,
+		))
+	}
+	return c, svc, pts
+}
+
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	opts := lbs.CacheOptions{Capacity: 256, Quantum: 0.01}
+	warm, _, pts := cacheFixture(t, opts)
+	ctx := context.Background()
+
+	// Populate with both query kinds and record the answers.
+	wantLR := make([][]lbs.LRRecord, len(pts))
+	wantLNR := make([][]lbs.LNRRecord, len(pts))
+	for i, p := range pts {
+		var err error
+		if wantLR[i], err = warm.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+		if wantLNR[i], err = warm.QueryLNR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := warm.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh cache over a fresh service: if the restored
+	// entries really answer from the cache, the new service's query
+	// meter stays untouched.
+	cold, svc, _ := cacheFixture(t, opts)
+	n, err := cold.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2*len(pts) {
+		t.Fatalf("restored %d entries, want %d", n, 2*len(pts))
+	}
+	st := cold.Stats()
+	if st.Restored != int64(n) || st.Entries != int64(n) {
+		t.Fatalf("stats %+v, want %d restored resident entries", st, n)
+	}
+	for i, p := range pts {
+		lr, err := cold.QueryLR(ctx, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lr) != len(wantLR[i]) {
+			t.Fatalf("pt %d: %d LR records, want %d", i, len(lr), len(wantLR[i]))
+		}
+		for j := range lr {
+			if lr[j].ID != wantLR[i][j].ID || lr[j].Dist != wantLR[i][j].Dist {
+				t.Fatalf("pt %d rec %d: restored (%v,%d) != recorded (%v,%d)",
+					i, j, lr[j].Dist, lr[j].ID, wantLR[i][j].Dist, wantLR[i][j].ID)
+			}
+		}
+		lnr, err := cold.QueryLNR(ctx, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range lnr {
+			if lnr[j].ID != wantLNR[i][j].ID {
+				t.Fatalf("pt %d rec %d: restored LNR ID %d != %d", i, j, lnr[j].ID, wantLNR[i][j].ID)
+			}
+		}
+	}
+	if got := svc.QueryCount(); got != 0 {
+		t.Fatalf("restored cache forwarded %d queries; every answer should have replayed", got)
+	}
+	st = cold.Stats()
+	if st.Hits != int64(2*len(pts)) || st.Misses != 0 {
+		t.Fatalf("stats after replay %+v, want all hits", st)
+	}
+}
+
+func TestCacheSnapshotMismatchRejected(t *testing.T) {
+	warm, _, pts := cacheFixture(t, lbs.CacheOptions{Capacity: 256, Quantum: 0.01})
+	ctx := context.Background()
+	for _, p := range pts {
+		if _, err := warm.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := warm.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different quantum means a different key geometry: the snapshot
+	// must be rejected whole, leaving the cache cold (and correct).
+	cold, _, _ := cacheFixture(t, lbs.CacheOptions{Capacity: 256, Quantum: 0.5})
+	n, err := cold.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, lbs.ErrCacheSnapshotMismatch) {
+		t.Fatalf("err = %v, want ErrCacheSnapshotMismatch", err)
+	}
+	if n != 0 || cold.Stats().Entries != 0 {
+		t.Fatalf("mismatch loaded %d entries (%d resident), want none", n, cold.Stats().Entries)
+	}
+}
+
+func TestCacheSnapshotTruncatedKeepsPrefix(t *testing.T) {
+	opts := lbs.CacheOptions{Capacity: 256, Quantum: 0.01}
+	warm, _, pts := cacheFixture(t, opts)
+	ctx := context.Background()
+	for _, p := range pts {
+		if _, err := warm.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := warm.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cold, _, _ := cacheFixture(t, opts)
+	n, err := cold.ReadSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()-10]))
+	if err == nil {
+		t.Fatal("truncated snapshot read reported success")
+	}
+	if int64(n) != cold.Stats().Entries {
+		t.Fatalf("reported %d loaded but %d resident", n, cold.Stats().Entries)
+	}
+	if n >= len(pts) {
+		t.Fatalf("loaded %d entries from a truncated stream of %d", n, len(pts))
+	}
+}

@@ -192,6 +192,75 @@ func NewObfuscatedDatabase(bounds geom.Rect, tuples []Tuple, obf Obfuscation) *D
 	return db
 }
 
+// TupleSource is a scannable collection of tuples with their effective
+// (ranking) locations — the read surface of a durable database file
+// (internal/store's paged .lbspack packs implement it). Scan must
+// visit every tuple exactly once, in a stable order, and stop at the
+// first error the callback returns.
+type TupleSource interface {
+	Bounds() geom.Rect
+	Len() int
+	Scan(fn func(t Tuple, effective geom.Point) error) error
+}
+
+// PreorderedSource is a TupleSource whose scan order is the kd-tree
+// preorder of the effective locations (what KDPreorder produces and
+// the store's pack writer records). NewDatabaseFromStore exploits it
+// to rebuild the index in O(n) — no median selection, the balanced
+// shape is implicit in the order — which is the difference between a
+// warm restart and a cold rebuild.
+type PreorderedSource interface {
+	TupleSource
+	// KDPreordered reports whether Scan yields tuples in kd-tree
+	// preorder of their effective locations.
+	KDPreordered() bool
+}
+
+// NewDatabaseFromStore materializes an immutable Database from a
+// durable tuple source: one paged scan collects tuples and effective
+// locations, then the kd-tree is built exactly as
+// NewDatabaseWithLocations would. Because the effective locations are
+// carried over verbatim (never re-derived from an obfuscation seed),
+// a database written to a store and read back answers every LR and
+// LNR query bit-identically to the original. Unlike the in-memory
+// constructors it returns an error instead of panicking: a corrupt or
+// hand-edited file is a runtime condition, not a programming bug.
+func NewDatabaseFromStore(src TupleSource) (*Database, error) {
+	n := src.Len()
+	db := &Database{
+		bounds:    src.Bounds(),
+		tuples:    make([]Tuple, 0, n),
+		effective: make([]geom.Point, 0, n),
+		byID:      make(map[int64]int, n),
+	}
+	// The byID index doubles as the duplicate check, so the scan stays
+	// a single pass with a single map.
+	err := src.Scan(func(t Tuple, eff geom.Point) error {
+		if _, dup := db.byID[t.ID]; dup {
+			return fmt.Errorf("lbs: store contains duplicate tuple ID %d", t.ID)
+		}
+		db.byID[t.ID] = len(db.tuples)
+		db.tuples = append(db.tuples, t)
+		db.effective = append(db.effective, eff)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ps, ok := src.(PreorderedSource); ok && ps.KDPreordered() {
+		db.tree = kdtree.BuildPreordered(db.effective)
+	} else {
+		db.tree = kdtree.BuildOwned(db.effective)
+	}
+	return db, nil
+}
+
+// KDPreorder returns the tuple indices in the kd-tree's preorder.
+// Persisting tuples in this order lets a reader hand the file back to
+// kdtree.BuildPreordered and skip the O(n log n) build on reopen; the
+// store's pack writer does exactly that.
+func (db *Database) KDPreorder() []int { return db.tree.PreorderIndices() }
+
 // NewDatabaseWithLocations builds a database whose ranking (effective)
 // locations are supplied explicitly, index-aligned with tuples. It is
 // the constructor federation partitioners use to split an obfuscated

@@ -44,6 +44,12 @@ func NewCluster(base *lbs.Database, opts lbs.Options, n int, lopts Options) (*Cl
 	if err != nil {
 		return nil, err
 	}
+	if lopts.Journal != nil {
+		// Every member would share the one journal, interleaving per-shard
+		// epoch streams that recovery cannot untangle. Durable live state
+		// is single-database for now (store.OpenLive).
+		return nil, fmt.Errorf("live: journaling a cluster is not supported")
+	}
 	parts := shard.Partition(base, n)
 	c := &Cluster{
 		opts:    norm,

@@ -1,0 +1,132 @@
+package live_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/live"
+	"repro/internal/workload"
+)
+
+// recordingJournal captures appended batches; failN makes the next N
+// Appends fail.
+type recordingJournal struct {
+	batches [][]live.Op
+	epochs  []uint64
+	failN   int
+}
+
+var errJournalDown = errors.New("journal device full")
+
+func (r *recordingJournal) Append(epochBefore uint64, ops []live.Op) error {
+	if r.failN > 0 {
+		r.failN--
+		return errJournalDown
+	}
+	r.epochs = append(r.epochs, epochBefore)
+	r.batches = append(r.batches, append([]live.Op(nil), ops...))
+	return nil
+}
+
+func TestJournalSeesAppliedOpsBeforeVisibility(t *testing.T) {
+	sc := workload.USASchools(50, 3)
+	j := &recordingJournal{}
+	d, err := live.New(sc.DB, lbs.Options{K: 5}, live.Options{Journal: j, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []live.Op{
+		{Kind: live.OpInsert, Tuple: lbs.Tuple{ID: 900, Loc: geom.Pt(-100, 40)}},
+		{Kind: live.OpDelete, ID: 900},
+		{Kind: live.OpDelete, ID: 12345}, // rejected: unknown ID
+		{Kind: live.OpMove, ID: 1, Loc: geom.Pt(-99, 41)},
+	}
+	results := d.Apply(context.Background(), ops)
+	if results[2].Err == nil {
+		t.Fatal("delete of unknown ID must fail")
+	}
+	if len(j.batches) != 1 || j.epochs[0] != 0 {
+		t.Fatalf("journal got %d batches (epochs %v), want 1 at epoch 0", len(j.batches), j.epochs)
+	}
+	// Only the ops that applied reach the journal, in order.
+	got := j.batches[0]
+	if len(got) != 3 {
+		t.Fatalf("journaled %d ops, want the 3 applied", len(got))
+	}
+	if got[0].Kind != live.OpInsert || got[1].Kind != live.OpDelete || got[2].Kind != live.OpMove {
+		t.Fatalf("journaled kinds %v %v %v, want insert delete move", got[0].Kind, got[1].Kind, got[2].Kind)
+	}
+	if d.Epoch() != 3 {
+		t.Fatalf("epoch %d, want 3", d.Epoch())
+	}
+}
+
+func TestJournalFailureAbortsWholeBatch(t *testing.T) {
+	sc := workload.USASchools(50, 3)
+	j := &recordingJournal{failN: 1}
+	d, err := live.New(sc.DB, lbs.Options{K: 5}, live.Options{Journal: j, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	ops := []live.Op{
+		{Kind: live.OpInsert, Tuple: lbs.Tuple{ID: 901, Loc: geom.Pt(-100, 40)}},
+		{Kind: live.OpMove, ID: 2, Loc: geom.Pt(-99, 41)},
+	}
+	results := d.Apply(context.Background(), ops)
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("op %d reported success despite the journal failure", i)
+		}
+		if !errors.Is(r.Err, errJournalDown) {
+			t.Fatalf("op %d error %v does not wrap the journal error", i, r.Err)
+		}
+		if r.Epoch != before.Epoch {
+			t.Fatalf("op %d epoch %d, want unchanged %d", i, r.Epoch, before.Epoch)
+		}
+	}
+	// Nothing became visible: the insert is absent and the epoch froze.
+	if d.Epoch() != before.Epoch {
+		t.Fatalf("epoch advanced to %d on a failed journal append", d.Epoch())
+	}
+	if _, _, ok := d.Lookup(901); ok {
+		t.Fatal("insert visible despite the aborted batch")
+	}
+
+	// The journal recovered: the same batch applies cleanly now.
+	for _, r := range d.Apply(context.Background(), ops) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if d.Epoch() != before.Epoch+2 {
+		t.Fatalf("epoch %d after retry, want %d", d.Epoch(), before.Epoch+2)
+	}
+}
+
+func TestStartEpochOffsetsResults(t *testing.T) {
+	sc := workload.USASchools(20, 3)
+	d, err := live.New(sc.DB, lbs.Options{K: 5}, live.Options{StartEpoch: 100, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 100 {
+		t.Fatalf("epoch %d, want the StartEpoch 100", d.Epoch())
+	}
+	results := d.Apply(context.Background(), []live.Op{
+		{Kind: live.OpInsert, Tuple: lbs.Tuple{ID: 902, Loc: geom.Pt(-100, 40)}},
+	})
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if results[0].Epoch != 101 || d.Epoch() != 101 {
+		t.Fatalf("applied at %d (db %d), want 101", results[0].Epoch, d.Epoch())
+	}
+	_, ep := d.SnapshotAt()
+	if ep != 101 {
+		t.Fatalf("SnapshotAt epoch %d, want 101", ep)
+	}
+}

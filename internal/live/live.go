@@ -95,6 +95,24 @@ type Mutator interface {
 	Apply(ctx context.Context, ops []Op) []Result
 }
 
+// Journal is the durability hook of a live database: Apply calls
+// Append with each batch's applied ops — under the mutation lock,
+// BEFORE the new snapshot becomes visible — so an implementation that
+// persists the batch (internal/store's write-ahead log) makes every
+// visible mutation recoverable. epochBefore is the database epoch the
+// batch applies on top of; the ops are exactly the ones that
+// succeeded, in order, each advancing the epoch by one. An Append
+// error aborts the whole batch: nothing becomes visible, every op
+// reports the journal error, and the epoch does not advance —
+// durability failures are never silent.
+//
+// Append runs with the mutation lock held, so it serializes naturally
+// against the journal owner's checkpointing; it must not call back
+// into the database.
+type Journal interface {
+	Append(epochBefore uint64, ops []Op) error
+}
+
 // Options configures the mutable layer (the query semantics come from
 // the lbs.Options passed to New).
 type Options struct {
@@ -118,6 +136,16 @@ type Options struct {
 	// cached between swap and callback are already fresh and eviction
 	// is only ever conservative.
 	OnInvalidate func(geom.Rect)
+	// Journal, when set, records every applied batch before it becomes
+	// visible (write-ahead). See Journal. Recovery paths that replay a
+	// journal into a fresh database construct it without one and attach
+	// it afterwards via SetJournal, so the replay is not re-journaled.
+	Journal Journal
+	// StartEpoch is the epoch the database begins at — 0 for a fresh
+	// database, the checkpoint epoch when reconstructing recovered
+	// state, so replayed mutations land at exactly the epochs they
+	// originally applied at.
+	StartEpoch uint64
 }
 
 // Stats is a point-in-time snapshot of a live database's shape and
@@ -172,6 +200,7 @@ type Database struct {
 
 	mu          sync.Mutex // serializes mutations and compaction bookkeeping
 	cmu         sync.Mutex // serializes compaction passes (held across rebuilds)
+	journal     Journal    // guarded by mu; nil = no durability hook
 	oplog       []Op       // applied ops since the current base was built
 	compacting  bool
 	inserts     atomic.Int64
@@ -200,12 +229,24 @@ func New(base *lbs.Database, opts lbs.Options, lopts Options) (*Database, error)
 		lopts.CompactThreshold = defaultCompactThreshold
 	}
 	d := &Database{
-		opts:  norm,
-		lopts: lopts,
-		meter: lbs.NewMeter(norm.Budget, norm.Limiter),
+		opts:    norm,
+		lopts:   lopts,
+		journal: lopts.Journal,
+		meter:   lbs.NewMeter(norm.Budget, norm.Limiter),
 	}
-	d.snap.Store(d.buildSnapshot(base, 0, nil, nil, nil))
+	d.snap.Store(d.buildSnapshot(base, lopts.StartEpoch, nil, nil, nil))
 	return d, nil
+}
+
+// SetJournal attaches (or detaches, with nil) the durability hook.
+// Recovery uses it: replay journal ops into a journal-less database,
+// then attach the journal before serving mutations, so the replay is
+// not recorded twice. It synchronizes with Apply — batches in flight
+// finish under the journal they started with.
+func (d *Database) SetJournal(j Journal) {
+	d.mu.Lock()
+	d.journal = j
+	d.mu.Unlock()
 }
 
 // candOpts is the candidate-source configuration shared by base and
@@ -289,6 +330,15 @@ func (d *Database) Epoch() uint64 { return d.snap.Load().epoch }
 // ground-truth evaluation and tests use it; queries never do.
 func (d *Database) Snapshot() *lbs.Database {
 	return materialize(d.snap.Load())
+}
+
+// SnapshotAt is Snapshot plus the epoch the snapshot is at, read from
+// the same atomic load so the pair is consistent even under concurrent
+// mutation. Checkpointing uses it: the materialized database and the
+// epoch it captures travel together into the on-disk pack header.
+func (d *Database) SnapshotAt() (*lbs.Database, uint64) {
+	s := d.snap.Load()
+	return materialize(s), s.epoch
 }
 
 // Lookup returns a copy of the tuple with the given ID as currently

@@ -161,8 +161,10 @@ func (o *overlay) delete(base *lbs.Database, id int64, dr *dirty) error {
 // batch becomes visible atomically in a single snapshot swap — the
 // intermediate epochs exist in the Result stream but are never
 // observable as snapshots. A failed op leaves state untouched and is
-// reported in its Result; later ops still run. Mutations never
-// consume query budget.
+// reported in its Result; later ops still run. With a Journal
+// attached, the applied ops are journaled before the swap; a journal
+// error aborts the whole batch (every op reports the error, nothing
+// becomes visible). Mutations never consume query budget.
 func (d *Database) Apply(ctx context.Context, ops []Op) []Result {
 	results := make([]Result, len(ops))
 	if len(ops) == 0 {
@@ -173,7 +175,7 @@ func (d *Database) Apply(ctx context.Context, ops []Op) []Result {
 	epoch := s.epoch
 	o := overlayFrom(s)
 	var dr dirty
-	applied := 0
+	var appliedOps []Op
 	for i := range ops {
 		if err := ctx.Err(); err != nil {
 			results[i] = Result{Epoch: epoch, Err: err}
@@ -186,14 +188,36 @@ func (d *Database) Apply(ctx context.Context, ops []Op) []Result {
 			continue
 		}
 		epoch++
-		applied++
 		results[i] = Result{Epoch: epoch}
+		appliedOps = append(appliedOps, ops[i])
+	}
+	if len(appliedOps) == 0 {
+		d.mu.Unlock()
+		return results
+	}
+	if d.journal != nil {
+		// Write-ahead: the batch must be durable before it is visible.
+		// On failure nothing happened — every op that would have applied
+		// reports the journal error at the unchanged epoch.
+		if err := d.journal.Append(s.epoch, appliedOps); err != nil {
+			jerr := fmt.Errorf("live: journal append: %w", err)
+			for i := range results {
+				if results[i].Err == nil {
+					results[i] = Result{Epoch: s.epoch, Err: jerr}
+					d.rejected.Add(1)
+				}
+			}
+			d.mu.Unlock()
+			return results
+		}
+	}
+	for _, op := range appliedOps {
 		if d.lopts.CompactThreshold > 0 {
 			// The op log only feeds compaction replay; with compaction
 			// disabled it would just grow without bound.
-			d.oplog = append(d.oplog, ops[i])
+			d.oplog = append(d.oplog, op)
 		}
-		switch ops[i].Kind {
+		switch op.Kind {
 		case OpInsert:
 			d.inserts.Add(1)
 		case OpDelete:
@@ -201,10 +225,6 @@ func (d *Database) Apply(ctx context.Context, ops []Op) []Result {
 		case OpMove:
 			d.moves.Add(1)
 		}
-	}
-	if applied == 0 {
-		d.mu.Unlock()
-		return results
 	}
 	d.snap.Store(d.buildSnapshot(s.base, epoch, o.tomb, o.deltaTuples, o.deltaByID))
 	if d.lopts.CompactThreshold > 0 && o.size() >= d.lopts.CompactThreshold && !d.compacting {

@@ -1,0 +1,71 @@
+package store
+
+// Dataset loading: anywhere a command takes a dataset path it accepts
+// either the lbsgen JSON export (parsed and rebuilt, the cold path)
+// or a .lbspack (paged scan, the warm path). The extension decides.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+)
+
+// DatasetTuple is the JSON tuple shape lbsgen writes.
+type DatasetTuple struct {
+	ID       int64              `json:"id"`
+	X        float64            `json:"x"`
+	Y        float64            `json:"y"`
+	Name     string             `json:"name,omitempty"`
+	Category string             `json:"category,omitempty"`
+	Attrs    map[string]float64 `json:"attrs,omitempty"`
+	Tags     map[string]string  `json:"tags,omitempty"`
+}
+
+// Dataset is the JSON dataset shape lbsgen writes.
+type Dataset struct {
+	Scenario string         `json:"scenario"`
+	MinX     float64        `json:"min_x"`
+	MinY     float64        `json:"min_y"`
+	MaxX     float64        `json:"max_x"`
+	MaxY     float64        `json:"max_y"`
+	Tuples   []DatasetTuple `json:"tuples"`
+}
+
+// Database builds the in-memory database a JSON dataset describes
+// (effective locations equal true locations: the JSON export does not
+// carry obfuscation).
+func (d *Dataset) Database() *lbs.Database {
+	tuples := make([]lbs.Tuple, len(d.Tuples))
+	for i, jt := range d.Tuples {
+		tuples[i] = lbs.Tuple{
+			ID: jt.ID, Loc: geom.Pt(jt.X, jt.Y),
+			Name: jt.Name, Category: jt.Category,
+			Attrs: jt.Attrs, Tags: jt.Tags,
+		}
+	}
+	bounds := geom.Rect{Min: geom.Pt(d.MinX, d.MinY), Max: geom.Pt(d.MaxX, d.MaxY)}
+	return lbs.NewDatabase(bounds, tuples)
+}
+
+// LoadDataset opens a dataset file by extension: .lbspack through the
+// paged store, anything else as lbsgen JSON.
+func LoadDataset(path string, poolPages int, m *Metrics) (*lbs.Database, error) {
+	if strings.EqualFold(filepath.Ext(path), ".lbspack") {
+		db, _, err := OpenDatabase(path, poolPages, m)
+		return db, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ds Dataset
+	if err := json.Unmarshal(data, &ds); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return ds.Database(), nil
+}

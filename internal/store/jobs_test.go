@@ -1,0 +1,201 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+func jobBackend() *lbs.Service {
+	sc := workload.USASchools(200, 3)
+	return lbs.NewService(sc.DB, lbs.Options{K: 5, Budget: 300})
+}
+
+func settle(t *testing.T, j *jobs.Job) jobs.View {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("job %s did not settle: %v", j.ID, err)
+	}
+	return j.Snapshot()
+}
+
+var resumeSpec = jobs.Spec{
+	Method:     jobs.MethodNNO,
+	Seed:       42,
+	Aggregates: []core.AggSpec{core.CountSpec(), core.SumSpec("enrollment")},
+}
+
+// TestJobResumeMatchesUninterrupted is the resume acceptance pin: a
+// job recovered mid-run re-runs deterministically, so its final
+// estimate is bit-equal to a run the crash never interrupted.
+func TestJobResumeMatchesUninterrupted(t *testing.T) {
+	// The uninterrupted reference run (no store).
+	ref := settle(t, mustCreate(t, jobs.NewManager(jobBackend(), jobs.ManagerOptions{}), resumeSpec))
+	if ref.State != jobs.StateDone {
+		t.Fatalf("reference run state %s (err %q)", ref.State, ref.Error)
+	}
+
+	// The "crashed" process left a mid-run checkpoint: state running,
+	// partial sample count, no results settled.
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := st.Jobs()
+	if err := js.Save(jobs.StoredJob{
+		ID:   "job-7",
+		Spec: resumeSpec,
+		View: jobs.View{
+			ID: "job-7", State: jobs.StateRunning,
+			Method: resumeSpec.Method, Seed: resumeSpec.Seed,
+			Samples: 9, CreatedAt: time.Now().Add(-time.Minute),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := jobs.NewManager(jobBackend(), jobs.ManagerOptions{Store: js})
+	rs, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Resumed != 1 || rs.Recovered != 0 || rs.Unresumable != 0 {
+		t.Fatalf("recovery stats %+v, want exactly one resume", rs)
+	}
+	st.RecordRecovery(rs)
+	if st.Stats().ResumedJobs != 1 {
+		t.Fatalf("resumed_jobs counter = %d, want 1", st.Stats().ResumedJobs)
+	}
+
+	j, ok := m.Get("job-7")
+	if !ok {
+		t.Fatal("resumed job not in the table under its original ID")
+	}
+	got := settle(t, j)
+	if got.State != jobs.StateDone {
+		t.Fatalf("resumed run state %s (err %q)", got.State, got.Error)
+	}
+	if !got.Resumed {
+		t.Fatal("resumed run not marked Resumed")
+	}
+	if got.Samples != ref.Samples || got.Queries != ref.Queries {
+		t.Fatalf("resumed cost %d/%d samples/queries, uninterrupted %d/%d",
+			got.Samples, got.Queries, ref.Samples, ref.Queries)
+	}
+	if len(got.Results) != len(ref.Results) {
+		t.Fatalf("resumed %d results, uninterrupted %d", len(got.Results), len(ref.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i].Estimate != ref.Results[i].Estimate {
+			t.Fatalf("result %d: resumed estimate %g != uninterrupted %g",
+				i, float64(got.Results[i].Estimate), float64(ref.Results[i].Estimate))
+		}
+	}
+
+	// The ID sequence advanced past the recovered job.
+	j2, err := m.Create(resumeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID != "job-8" {
+		t.Fatalf("next ID %s, want job-8 (sequence past recovered IDs)", j2.ID)
+	}
+	settle(t, j2)
+}
+
+func TestFinishedJobSurvivesRestart(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := jobs.NewManager(jobBackend(), jobs.ManagerOptions{Store: st.Jobs(), CheckpointEvery: 1})
+	want := settle(t, mustCreate(t, m1, resumeSpec))
+	if want.State != jobs.StateDone {
+		t.Fatalf("state %s", want.State)
+	}
+
+	m2 := jobs.NewManager(jobBackend(), jobs.ManagerOptions{Store: st.Jobs()})
+	rs, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Recovered != 1 || rs.Resumed != 0 {
+		t.Fatalf("recovery stats %+v, want one finished reload", rs)
+	}
+	j, ok := m2.Get(want.ID)
+	if !ok {
+		t.Fatal("finished job missing after restart")
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("recovered finished job's Done() not closed")
+	}
+	got := j.Snapshot()
+	if got.State != jobs.StateDone || got.Samples != want.Samples {
+		t.Fatalf("recovered view %+v, want the stored final view %+v", got, want)
+	}
+	for i := range want.Results {
+		if got.Results[i].Estimate != want.Results[i].Estimate {
+			t.Fatalf("result %d: recovered %g != stored %g",
+				i, float64(got.Results[i].Estimate), float64(want.Results[i].Estimate))
+		}
+	}
+}
+
+func TestCorruptJobEntrySettlesAsFailed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, jobsDir, "job-3.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.NewManager(jobBackend(), jobs.ManagerOptions{Store: st.Jobs()})
+	rs, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Unresumable != 1 {
+		t.Fatalf("recovery stats %+v, want one unresumable", rs)
+	}
+	j, ok := m.Get("job-3")
+	if !ok {
+		t.Fatal("corrupt job vanished — recovery must keep it in the table")
+	}
+	v := j.Snapshot()
+	if v.State != jobs.StateFailed || !strings.Contains(v.Error, "cannot be resumed") {
+		t.Fatalf("view %+v, want failed with a typed unresumable reason", v)
+	}
+
+	// The settled failure is durable: a second restart reloads it as a
+	// finished (failed) job instead of re-tripping on the torn bytes.
+	m2 := jobs.NewManager(jobBackend(), jobs.ManagerOptions{Store: st.Jobs()})
+	rs2, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Recovered != 1 || rs2.Unresumable != 0 {
+		t.Fatalf("second recovery stats %+v, want the settled failure reloaded", rs2)
+	}
+}
+
+func mustCreate(t *testing.T, m *jobs.Manager, spec jobs.Spec) *jobs.Job {
+	t.Helper()
+	j, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}

@@ -1,0 +1,97 @@
+package store
+
+// JobStore implements jobs.Store over per-job JSON files
+// (<dir>/jobs/<id>.json, written atomically via temp + rename). One
+// file per job keeps checkpoint writes independent — a torn write
+// corrupts at most the one job, which recovery settles as failed with
+// a typed reason instead of losing the whole table.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/jobs"
+)
+
+// JobStore persists jobs as individual JSON files.
+type JobStore struct {
+	dir string
+	m   *Metrics
+	mu  sync.Mutex // serializes writes per store (cheap: jobs are small)
+}
+
+var _ jobs.Store = (*JobStore)(nil)
+
+func (js *JobStore) path(id string) string {
+	// Job IDs are manager-generated ("job-<n>"); Base strips anything
+	// path-like out of an ID that arrived from a recovered file.
+	return filepath.Join(js.dir, filepath.Base(id)+".json")
+}
+
+// Save implements jobs.Store.
+func (js *JobStore) Save(sj jobs.StoredJob) error {
+	data, err := json.Marshal(sj)
+	if err != nil {
+		return err
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	path := js.path(sj.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load implements jobs.Store: every stored job, with undecodable
+// entries marked Corrupt (their ID recovered from the filename) so
+// the manager can settle them as unresumable instead of dropping them.
+func (js *JobStore) Load() ([]jobs.StoredJob, error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	ents, err := os.ReadDir(js.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []jobs.StoredJob
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		data, err := os.ReadFile(filepath.Join(js.dir, name))
+		var sj jobs.StoredJob
+		if err != nil || json.Unmarshal(data, &sj) != nil || sj.ID != id {
+			out = append(out, jobs.StoredJob{ID: id, Corrupt: true})
+			continue
+		}
+		out = append(out, sj)
+	}
+	return out, nil
+}
+
+// Delete implements jobs.Store.
+func (js *JobStore) Delete(id string) error {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	err := os.Remove(js.path(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// RecordRecovery feeds a recovery's counts into the store metrics.
+func (s *Store) RecordRecovery(rs jobs.RecoveryStats) {
+	s.m.RecoveredJobs.Add(uint64(rs.Recovered))
+	s.m.ResumedJobs.Add(uint64(rs.Resumed))
+	s.m.UnresumableJobs.Add(uint64(rs.Unresumable))
+}

@@ -1,0 +1,314 @@
+package store
+
+// The .lbspack heap file: page 0 is the header, pages 1..N hold tuple
+// records back to back (records never span pages). Every page carries
+// a CRC32 over its contents, so a torn write or flipped bit surfaces
+// as a typed *CorruptError at open or scan time — never a silently
+// wrong database.
+//
+//	page 0 (header)                    data page
+//	┌──────────────────────────┐      ┌─────────────────────────┐
+//	│ magic   "LBSPACK1"   8 B │      │ crc32 (rest of page) 4 B│
+//	│ version u32              │      │ nrecs u16   used u16    │
+//	│ pageSize u32             │      │ records … zero padding  │
+//	│ count    u64             │      └─────────────────────────┘
+//	│ epoch    u64             │
+//	│ bounds   4×f64           │
+//	│ crc32 (bytes above)      │
+//	└──────────────────────────┘
+//
+// epoch is the live-database epoch the pack captures: 0 for a cold
+// ingest, the checkpoint epoch for a pack written by LiveStore (WAL
+// replay resumes from it).
+//
+// Record order is significant: tuples are stored in the kd-tree
+// preorder of their effective locations, which lets the reader
+// rebuild the index in O(n) (kdtree.BuildPreordered) instead of
+// re-running median selection. The order is protected by the same
+// page checksums as the data.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/lbs"
+)
+
+const (
+	packMagic       = "LBSPACK1"
+	packVersion     = 1
+	DefaultPageSize = 4096
+	minPageSize     = 256
+	headerSize      = 8 + 4 + 4 + 8 + 8 + 4*8 + 4
+	pageHdrSize     = 4 + 2 + 2 // crc, nrecs, used
+)
+
+// CorruptError is the typed failure of every integrity check in this
+// package: bad magic, checksum mismatch, truncated page, record count
+// drift. Callers distinguish "the file is damaged" (recoverable by
+// re-ingest or by accepting a WAL prefix) from I/O errors.
+type CorruptError struct {
+	Path   string
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: %s: corrupt: %s", e.Path, e.Detail)
+}
+
+func corrupt(path, format string, args ...any) error {
+	return &CorruptError{Path: path, Detail: fmt.Sprintf(format, args...)}
+}
+
+// WritePack writes db (with its effective locations) as a .lbspack at
+// path, atomically: temp file, fsync, rename. epoch is recorded in
+// the header. The same database always produces the same bytes.
+func WritePack(path string, db *lbs.Database, epoch uint64, pageSize int, m *Metrics) error {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < minPageSize {
+		return fmt.Errorf("store: page size %d below minimum %d", pageSize, minPageSize)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	defer f.Close()
+
+	b := db.Bounds()
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, packMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, packVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(pageSize))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(db.Len()))
+	hdr = binary.LittleEndian.AppendUint64(hdr, epoch)
+	for _, v := range []float64{b.Min.X, b.Min.Y, b.Max.X, b.Max.Y} {
+		hdr = appendF64(hdr, v)
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
+	page := make([]byte, pageSize)
+	copy(page, hdr)
+	if _, err := f.Write(page); err != nil {
+		return err
+	}
+	if m != nil {
+		m.PagesWritten.Add(1)
+	}
+
+	// Fill data pages: append records until one does not fit, seal the
+	// page (crc + counts), start the next.
+	var rec []byte
+	nrecs, used := 0, 0
+	payload := page[pageHdrSize:]
+	seal := func() error {
+		binary.LittleEndian.PutUint16(page[4:], uint16(nrecs))
+		binary.LittleEndian.PutUint16(page[6:], uint16(used))
+		binary.LittleEndian.PutUint32(page[0:], crc32.ChecksumIEEE(page[4:]))
+		if _, err := f.Write(page); err != nil {
+			return err
+		}
+		if m != nil {
+			m.PagesWritten.Add(1)
+		}
+		for i := range page {
+			page[i] = 0
+		}
+		nrecs, used = 0, 0
+		return nil
+	}
+	// Records go out in the database's kd-tree preorder: the balanced
+	// median build makes tree shape a pure function of the point count,
+	// so a reader that trusts this order (Pack advertises it via
+	// KDPreordered) rebuilds the index in O(n) instead of re-running
+	// median selection. Preorder of a rebuilt tree is the stored order
+	// itself, so checkpoint → reopen → checkpoint cycles are stable.
+	for _, i := range db.KDPreorder() {
+		rec = appendTuple(rec[:0], *db.Tuple(i), db.EffectiveLoc(i))
+		if len(rec) > len(payload) {
+			return fmt.Errorf("store: tuple %d encodes to %d bytes, larger than a %d-byte page", db.Tuple(i).ID, len(rec), pageSize)
+		}
+		if used+len(rec) > len(payload) {
+			if err := seal(); err != nil {
+				return err
+			}
+		}
+		copy(payload[used:], rec)
+		used += len(rec)
+		nrecs++
+	}
+	if nrecs > 0 {
+		if err := seal(); err != nil {
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Pack is an open .lbspack: the header fields plus a buffer pool over
+// the data pages. It implements lbs.TupleSource, so
+// lbs.NewDatabaseFromStore builds the kd-tree from a paged scan that
+// never holds more than the pool budget in memory.
+type Pack struct {
+	f        *os.File
+	path     string
+	pageSize int
+	count    uint64
+	epoch    uint64
+	bounds   geom.Rect
+	npages   int
+	pool     *pool
+}
+
+// OpenPack opens and validates a .lbspack. poolPages bounds how many
+// pages the buffer pool keeps resident (≥ 1; 0 means DefaultPoolPages).
+func OpenPack(path string, poolPages int, m *Metrics) (*Pack, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, corrupt(path, "short header: %v", err)
+	}
+	if string(hdr[:8]) != packMagic {
+		f.Close()
+		return nil, corrupt(path, "bad magic %q", hdr[:8])
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[headerSize-4:])
+	if got := crc32.ChecksumIEEE(hdr[:headerSize-4]); got != wantCRC {
+		f.Close()
+		return nil, corrupt(path, "header checksum %08x, want %08x", got, wantCRC)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != packVersion {
+		f.Close()
+		return nil, corrupt(path, "version %d (want %d)", v, packVersion)
+	}
+	p := &Pack{
+		f:        f,
+		path:     path,
+		pageSize: int(binary.LittleEndian.Uint32(hdr[12:])),
+		count:    binary.LittleEndian.Uint64(hdr[16:]),
+		epoch:    binary.LittleEndian.Uint64(hdr[24:]),
+	}
+	if p.pageSize < minPageSize {
+		f.Close()
+		return nil, corrupt(path, "page size %d below minimum %d", p.pageSize, minPageSize)
+	}
+	bits := func(off int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(hdr[off:]))
+	}
+	p.bounds = geom.Rect{Min: geom.Pt(bits(32), bits(40)), Max: geom.Pt(bits(48), bits(56))}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%int64(p.pageSize) != 0 {
+		f.Close()
+		return nil, corrupt(path, "size %d is not a multiple of page size %d", st.Size(), p.pageSize)
+	}
+	p.npages = int(st.Size()/int64(p.pageSize)) - 1
+	p.pool = newPool(p, poolPages, m)
+	return p, nil
+}
+
+// readPage reads and validates data page n (0-based among data pages)
+// into dst; the buffer pool calls it on a miss.
+func (p *Pack) readPage(n int, dst []byte) error {
+	off := int64(n+1) * int64(p.pageSize)
+	if _, err := p.f.ReadAt(dst, off); err != nil {
+		return corrupt(p.path, "page %d: %v", n, err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(dst)
+	if got := crc32.ChecksumIEEE(dst[4:]); got != wantCRC {
+		return corrupt(p.path, "page %d checksum %08x, want %08x", n, got, wantCRC)
+	}
+	return nil
+}
+
+// Bounds implements lbs.TupleSource.
+func (p *Pack) Bounds() geom.Rect { return p.bounds }
+
+// Len implements lbs.TupleSource.
+func (p *Pack) Len() int { return int(p.count) }
+
+// Epoch is the live-database epoch recorded when the pack was written.
+func (p *Pack) Epoch() uint64 { return p.epoch }
+
+// KDPreordered implements lbs.PreorderedSource: WritePack always
+// records tuples in the source database's kd-tree preorder, so a
+// checksum-valid pack scans in rebuild-ready order.
+func (p *Pack) KDPreordered() bool { return true }
+
+// Scan implements lbs.TupleSource: it decodes every record in file
+// order through the buffer pool, pinning one page at a time. A decode
+// error or record-count drift is a *CorruptError.
+func (p *Pack) Scan(fn func(t lbs.Tuple, effective geom.Point) error) error {
+	seen := uint64(0)
+	intern := make(map[string]string)
+	for n := 0; n < p.npages; n++ {
+		page, err := p.pool.acquire(n)
+		if err != nil {
+			return err
+		}
+		nrecs := int(binary.LittleEndian.Uint16(page[4:]))
+		used := int(binary.LittleEndian.Uint16(page[6:]))
+		if pageHdrSize+used > len(page) {
+			p.pool.release(n)
+			return corrupt(p.path, "page %d: used %d overflows page", n, used)
+		}
+		r := &reader{b: page[pageHdrSize : pageHdrSize+used], intern: intern}
+		for i := 0; i < nrecs; i++ {
+			t, eff, err := r.tuple()
+			if err != nil {
+				p.pool.release(n)
+				return corrupt(p.path, "page %d record %d: %v", n, i, err)
+			}
+			if err := fn(t, eff); err != nil {
+				p.pool.release(n)
+				return err
+			}
+			seen++
+		}
+		p.pool.release(n)
+	}
+	if seen != p.count {
+		return corrupt(p.path, "header says %d records, pages hold %d", p.count, seen)
+	}
+	return nil
+}
+
+// Close releases the file handle.
+func (p *Pack) Close() error { return p.f.Close() }
+
+// OpenDatabase opens path and materializes the lbs.Database it holds
+// (kd-tree rebuilt from the paged scan), returning the recorded epoch.
+func OpenDatabase(path string, poolPages int, m *Metrics) (*lbs.Database, uint64, error) {
+	p, err := OpenPack(path, poolPages, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer p.Close()
+	db, err := lbs.NewDatabaseFromStore(p)
+	if err != nil {
+		if _, ok := err.(*CorruptError); !ok {
+			err = corrupt(path, "%v", err)
+		}
+		return nil, 0, err
+	}
+	return db, p.epoch, nil
+}

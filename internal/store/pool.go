@@ -1,0 +1,126 @@
+package store
+
+// The buffer pool keeps a bounded set of validated data pages in
+// memory with clock (second-chance) eviction: each frame has a
+// reference bit set on hit; the clock hand clears bits until it finds
+// an unreferenced, unpinned frame to evict. Pinned frames (a scan is
+// decoding them) are never evicted, so a page's bytes stay stable for
+// exactly as long as a reader holds them. This is what lets a
+// database larger than RAM back queries: residency is bounded by
+// PoolPages × pageSize regardless of file size.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultPoolPages is the default buffer-pool budget (pages).
+const DefaultPoolPages = 64
+
+type frame struct {
+	page int // which data page, -1 = empty
+	buf  []byte
+	ref  bool // clock reference bit
+	pins int
+}
+
+type pool struct {
+	src  *Pack
+	m    *Metrics
+	mu   sync.Mutex
+	byNo map[int]int // page number → frame index
+	fr   []frame
+	hand int
+}
+
+func newPool(src *Pack, budget int, m *Metrics) *pool {
+	if budget <= 0 {
+		budget = DefaultPoolPages
+	}
+	p := &pool{src: src, m: m, byNo: make(map[int]int, budget), fr: make([]frame, budget)}
+	for i := range p.fr {
+		p.fr[i].page = -1
+	}
+	return p
+}
+
+// acquire returns page n's bytes, pinned: the caller must release(n)
+// when done decoding. A miss reads and CRC-validates the page from
+// disk, evicting by clock if the pool is full.
+func (p *pool) acquire(n int) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i, ok := p.byNo[n]; ok {
+		f := &p.fr[i]
+		f.ref = true
+		f.pins++
+		if p.m != nil {
+			p.m.PoolHits.Add(1)
+		}
+		return f.buf, nil
+	}
+	i, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.fr[i]
+	if f.page >= 0 {
+		delete(p.byNo, f.page)
+		if p.m != nil {
+			p.m.PoolEvictions.Add(1)
+		}
+	}
+	if f.buf == nil {
+		f.buf = make([]byte, p.src.pageSize)
+	}
+	if err := p.src.readPage(n, f.buf); err != nil {
+		f.page = -1
+		return nil, err
+	}
+	if p.m != nil {
+		p.m.PoolMisses.Add(1)
+		p.m.PagesRead.Add(1)
+	}
+	f.page = n
+	f.ref = true
+	f.pins = 1
+	p.byNo[n] = i
+	return f.buf, nil
+}
+
+// release unpins page n.
+func (p *pool) release(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i, ok := p.byNo[n]; ok && p.fr[i].pins > 0 {
+		p.fr[i].pins--
+	}
+}
+
+// victimLocked runs the clock hand: skip pinned frames, clear set
+// reference bits, take the first unreferenced unpinned frame. Two
+// full sweeps with no victim means every frame is pinned — a caller
+// bug (scans pin one page at a time), reported rather than spun on.
+func (p *pool) victimLocked() (int, error) {
+	for sweep := 0; sweep < 2*len(p.fr); sweep++ {
+		i := p.hand
+		p.hand = (p.hand + 1) % len(p.fr)
+		f := &p.fr[i]
+		if f.pins > 0 {
+			continue
+		}
+		if f.page >= 0 && f.ref {
+			f.ref = false
+			continue
+		}
+		return i, nil
+	}
+	return 0, fmt.Errorf("store: buffer pool exhausted: all %d pages pinned", len(p.fr))
+}
+
+// resident reports how many pages the pool currently holds (tests).
+func (p *pool) resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.byNo)
+}

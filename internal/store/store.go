@@ -1,0 +1,263 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lbs"
+	"repro/internal/live"
+)
+
+// Metrics are the storage engine's shared counters; every component
+// of a Store (pack writer, buffer pool, WAL, recovery, job store)
+// feeds the same instance, and Stats() snapshots it for /v1/stats.
+type Metrics struct {
+	PagesRead     atomic.Uint64
+	PagesWritten  atomic.Uint64
+	PoolHits      atomic.Uint64
+	PoolMisses    atomic.Uint64
+	PoolEvictions atomic.Uint64
+
+	WALBytes    atomic.Uint64
+	WALFrames   atomic.Uint64
+	Checkpoints atomic.Uint64
+
+	RecoveredFrames atomic.Uint64 // WAL frames replayed at open
+	RecoveredOps    atomic.Uint64 // mutations those frames carried
+	RecoveredJobs   atomic.Uint64 // finished jobs reloaded
+	ResumedJobs     atomic.Uint64 // interrupted jobs re-running
+	UnresumableJobs atomic.Uint64 // recovered jobs settled as failed
+	CacheRestored   atomic.Uint64 // cache entries restored at open
+}
+
+// Stats is a point-in-time snapshot of Metrics, JSON-shaped for the
+// /v1/stats store section.
+type Stats struct {
+	PagesRead     uint64 `json:"pages_read"`
+	PagesWritten  uint64 `json:"pages_written"`
+	PoolHits      uint64 `json:"pool_hits"`
+	PoolMisses    uint64 `json:"pool_misses"`
+	PoolEvictions uint64 `json:"pool_evictions"`
+	// PoolHitRate is hits / (hits + misses), 0 when no pool traffic.
+	PoolHitRate float64 `json:"pool_hit_rate"`
+
+	WALBytes    uint64 `json:"wal_bytes"`
+	WALFrames   uint64 `json:"wal_frames"`
+	Checkpoints uint64 `json:"checkpoints"`
+
+	RecoveredFrames uint64 `json:"recovered_frames"`
+	RecoveredOps    uint64 `json:"recovered_ops"`
+	RecoveredJobs   uint64 `json:"recovered_jobs"`
+	ResumedJobs     uint64 `json:"resumed_jobs"`
+	UnresumableJobs uint64 `json:"unresumable_jobs"`
+	CacheRestored   uint64 `json:"cache_restored"`
+}
+
+// Snapshot reads every counter once.
+func (m *Metrics) Snapshot() Stats {
+	s := Stats{
+		PagesRead:       m.PagesRead.Load(),
+		PagesWritten:    m.PagesWritten.Load(),
+		PoolHits:        m.PoolHits.Load(),
+		PoolMisses:      m.PoolMisses.Load(),
+		PoolEvictions:   m.PoolEvictions.Load(),
+		WALBytes:        m.WALBytes.Load(),
+		WALFrames:       m.WALFrames.Load(),
+		Checkpoints:     m.Checkpoints.Load(),
+		RecoveredFrames: m.RecoveredFrames.Load(),
+		RecoveredOps:    m.RecoveredOps.Load(),
+		RecoveredJobs:   m.RecoveredJobs.Load(),
+		ResumedJobs:     m.ResumedJobs.Load(),
+		UnresumableJobs: m.UnresumableJobs.Load(),
+		CacheRestored:   m.CacheRestored.Load(),
+	}
+	if total := s.PoolHits + s.PoolMisses; total > 0 {
+		s.PoolHitRate = float64(s.PoolHits) / float64(total)
+	}
+	return s
+}
+
+// Options configures a Store.
+type Options struct {
+	// PageSize is the .lbspack page size in bytes (default 4096).
+	PageSize int
+	// PoolPages bounds the buffer pool (default 64 pages).
+	PoolPages int
+	// SyncWAL fsyncs the WAL after every journaled batch. Off, the WAL
+	// is still written before mutations become visible (crash-consistent
+	// against process death); on, it also survives power loss, at a
+	// latency cost per Apply.
+	SyncWAL bool
+}
+
+// File layout inside a store directory.
+const (
+	packFile  = "db.lbspack"
+	walFile   = "wal.log"
+	cacheFile = "cache.snapshot"
+	jobsDir   = "jobs"
+)
+
+// Store is one durable data directory: the pack + WAL pair behind a
+// database, per-job JSON state, and a cache snapshot. Open it once at
+// startup; every sub-handle shares its Metrics.
+type Store struct {
+	dir  string
+	opts Options
+	m    Metrics
+
+	mu   sync.Mutex
+	live *LiveStore // non-nil once OpenLive recovered / created it
+}
+
+// Open opens (creating if needed) the store directory.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = DefaultPageSize
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = DefaultPoolPages
+	}
+	if err := os.MkdirAll(filepath.Join(dir, jobsDir), 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Metrics returns the shared counters (tests and wiring).
+func (s *Store) Metrics() *Metrics { return &s.m }
+
+// Stats snapshots the engine counters.
+func (s *Store) Stats() Stats { return s.m.Snapshot() }
+
+// PackPath is the database pack's location inside the store.
+func (s *Store) PackPath() string { return filepath.Join(s.dir, packFile) }
+
+// OpenOrCreateDatabase returns the store's database: a paged scan of
+// the existing pack when one is present (warm=true), else gen() is
+// invoked to build it cold and the result is packed for next time.
+func (s *Store) OpenOrCreateDatabase(gen func() *lbs.Database) (db *lbs.Database, warm bool, err error) {
+	path := s.PackPath()
+	if _, statErr := os.Stat(path); statErr == nil {
+		db, _, err = OpenDatabase(path, s.opts.PoolPages, &s.m)
+		return db, true, err
+	}
+	db = gen()
+	if err := WritePack(path, db, 0, s.opts.PageSize, &s.m); err != nil {
+		return nil, false, err
+	}
+	return db, false, nil
+}
+
+// SaveCache snapshots a CachedOracle's shards to the store.
+func (s *Store) SaveCache(c *lbs.CachedOracle) error {
+	path := filepath.Join(s.dir, cacheFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if err := c.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCache restores a cache snapshot if one exists, returning how
+// many entries came back (0, nil when there is no snapshot — a cold
+// cache is not an error, and neither is a configuration mismatch:
+// the stale snapshot is discarded and the cache serves cold).
+func (s *Store) LoadCache(c *lbs.CachedOracle) (int, error) {
+	f, err := os.Open(filepath.Join(s.dir, cacheFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	n, err := c.ReadSnapshot(f)
+	s.m.CacheRestored.Add(uint64(n))
+	if err != nil && n == 0 {
+		// Mismatched or unreadable snapshots load nothing; cold is safe.
+		return 0, nil
+	}
+	return n, err
+}
+
+// Jobs returns the per-job persistence backend rooted in the store.
+func (s *Store) Jobs() *JobStore {
+	return &JobStore{dir: filepath.Join(s.dir, jobsDir), m: &s.m}
+}
+
+// Live returns the LiveStore once OpenLive created it (nil before).
+func (s *Store) Live() *LiveStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Checkpoint flushes durable state: the live database (pack rewrite +
+// WAL truncation) when one is open. Call it at graceful shutdown.
+func (s *Store) Checkpoint() error {
+	if ls := s.Live(); ls != nil {
+		return ls.Checkpoint()
+	}
+	return nil
+}
+
+// Close checkpoints and releases the store's file handles.
+func (s *Store) Close() error {
+	err := s.Checkpoint()
+	if ls := s.Live(); ls != nil {
+		if cerr := ls.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Instrument wraps q so the /v1/stats chain walk finds the storage
+// engine: the wrapper answers StoreStats() and passes every query
+// through untouched.
+func (s *Store) Instrument(q lbs.Querier) *Instrumented {
+	return &Instrumented{inner: q, s: s}
+}
+
+// OpenLive opens the store's durable live database. With no prior
+// state, gen() builds the base (packed at epoch 0). With a pack and
+// WAL present, the base loads from the pack and the WAL's valid
+// prefix replays on top, reconstructing the pre-crash overlay at the
+// recorded epoch. The returned database journals every Apply batch
+// to the WAL before it becomes visible.
+func (s *Store) OpenLive(gen func() *lbs.Database, opts lbs.Options, lopts live.Options) (*live.Database, error) {
+	if lopts.Journal != nil {
+		return nil, fmt.Errorf("store: OpenLive owns the journal; lopts.Journal must be nil")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live != nil {
+		return nil, fmt.Errorf("store: live database already open")
+	}
+	ls, err := openLiveStore(s, gen, opts, lopts)
+	if err != nil {
+		return nil, err
+	}
+	s.live = ls
+	return ls.db, nil
+}

@@ -279,6 +279,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/sampling"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -857,3 +858,44 @@ var (
 	// WeiboChina generates the rank-only social-network scenario.
 	WeiboChina = workload.WeiboChina
 )
+
+// Durable storage (internal/store): the paged .lbspack database
+// format, WAL-backed live overlays, and warm restarts.
+type (
+	// Store is one durable data directory (pack + WAL + jobs + cache).
+	Store = store.Store
+	// StoreOptions configures page size, buffer-pool budget and WAL
+	// syncing.
+	StoreOptions = store.Options
+	// StoreStats is the engine's counter snapshot (the /v1/stats
+	// "store" section).
+	StoreStats = store.Stats
+	// StoreRecovery describes what opening a durable live database
+	// found (warm/cold, recovered epoch, replayed WAL frames).
+	StoreRecovery = store.Recovery
+	// StoreCorruptError is the typed failure of every storage
+	// integrity check (bad magic, checksum mismatch, truncated page).
+	StoreCorruptError = store.CorruptError
+	// TupleSource is a scannable tuple supplier a Database can
+	// materialize from (implemented by the store's paged packs).
+	TupleSource = lbs.TupleSource
+)
+
+// OpenStore opens (creating if needed) a durable data directory.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
+
+// WritePack writes db as a paged .lbspack file at path (epoch is
+// recorded in the header; pageSize 0 means the default).
+func WritePack(path string, db *Database, epoch uint64, pageSize int) error {
+	return store.WritePack(path, db, epoch, pageSize, nil)
+}
+
+// OpenPackedDatabase opens a .lbspack and materializes the database
+// it holds, returning the recorded epoch (poolPages 0 means the
+// default buffer-pool budget).
+func OpenPackedDatabase(path string, poolPages int) (*Database, uint64, error) {
+	return store.OpenDatabase(path, poolPages, nil)
+}
+
+// NewDatabaseFromStore materializes a Database from any TupleSource.
+var NewDatabaseFromStore = lbs.NewDatabaseFromStore
