@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json bench-planner bench-planner-json bench-chaos bench-chaos-json bench-store bench-store-json
+.PHONY: all fmt vet build test bench bench-throughput bench-geom bench-geo-geodesic bench-json bench-smoke bench-fed bench-fed-json bench-live bench-live-json bench-planner bench-planner-json bench-chaos bench-chaos-json bench-store bench-store-json
 
 all: fmt vet build test
 
@@ -41,6 +41,14 @@ GEOM_PKGS = ./internal/geom ./internal/cell ./internal/kdtree ./internal/lbs ./i
 
 bench-geom:
 	$(GO) test -run '^$$' -bench '$(GEOM_BENCH)' -benchmem $(GEOM_PKGS)
+
+# bench-geo-geodesic runs the geodesic twins once (kd-tree Haversine
+# traversal, the geodesic oracle hot path, one geodesic LR estimator
+# sample) — the CI smoke that keeps the Haversine path compiling and
+# answering. The names also match GEOM_BENCH prefixes, so bench-json
+# records them next to their Euclidean baselines.
+bench-geo-geodesic:
+	$(GO) test -run '^$$' -bench 'Geodesic' -benchtime 1x ./internal/kdtree ./internal/lbs ./internal/core
 
 # bench-json runs the geometry suite and records it in BENCH_geom.json
 # (ns/op, B/op, allocs/op, custom metrics like queries/sample and q/s).

@@ -12,6 +12,15 @@
 //	lbsgen -scenario wechat -n 500000 -o city.lbspack
 //	lbsserve -dataset city.lbspack -addr :8080
 //
+// The geodesic scenarios (geo-us, geo-china) generate lon/lat degree
+// coordinates ranked under the Haversine metric; the "cities"
+// scenario is their planar (km, Euclidean) twin. All three honor
+// -density: zipf swaps the Gaussian cluster spread for a heavy-tailed
+// power law (dense cores, long suburban tails). The metric is
+// recorded in both output forms — pack header field and JSON
+// "metric" — so lbsserve refuses to serve the city under the wrong
+// geometry.
+//
 // The .lbspack form also preserves effective (obfuscated) locations,
 // which the JSON export does not carry.
 package main
@@ -24,6 +33,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/geo"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -45,17 +55,25 @@ type jsonDataset struct {
 	MinY     float64     `json:"min_y"`
 	MaxX     float64     `json:"max_x"`
 	MaxY     float64     `json:"max_y"`
+	Metric   string      `json:"metric,omitempty"`
 	Tuples   []jsonTuple `json:"tuples"`
 }
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "schools", "schools | restaurants | starbucks | wechat | weibo")
+		scenario = flag.String("scenario", "schools", "schools | restaurants | starbucks | wechat | weibo | cities | geo-us | geo-china")
 		n        = flag.Int("n", 2000, "number of tuples")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		density  = flag.String("density", "", "cluster spread for cities/geo-us/geo-china: gauss (default) | zipf (heavy-tailed power law)")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+
+	den, err := workload.ParseDensity(*density)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var sc *workload.Scenario
 	switch *scenario {
@@ -69,13 +87,23 @@ func main() {
 		sc = workload.WeChatChina(*n, *seed)
 	case "weibo":
 		sc = workload.WeiboChina(*n, *seed)
+	case "cities":
+		sc = workload.Cities("cities", workload.USBounds(), geo.Euclidean, den, *n, 40, *seed)
+	case "geo-us":
+		sc = workload.GeoUS(*n, *seed, den)
+	case "geo-china":
+		sc = workload.GeoChina(*n, *seed, den)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
+	if *density != "" && sc.Metric == geo.Euclidean && *scenario != "cities" {
+		fmt.Fprintf(os.Stderr, "-density applies to the cities/geo-us/geo-china scenarios; %q has a fixed density\n", *scenario)
+		os.Exit(2)
+	}
 
 	if strings.HasSuffix(strings.ToLower(*out), ".lbspack") {
-		if err := store.WritePack(*out, sc.DB, 0, 0, nil); err != nil {
+		if err := store.WritePackMetric(*out, sc.DB, sc.Metric, 0, 0, nil); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -86,6 +114,7 @@ func main() {
 		Scenario: sc.Name,
 		MinX:     sc.Bounds.Min.X, MinY: sc.Bounds.Min.Y,
 		MaxX: sc.Bounds.Max.X, MaxY: sc.Bounds.Max.Y,
+		Metric: sc.Metric.String(),
 	}
 	for i := 0; i < sc.DB.Len(); i++ {
 		t := sc.DB.Tuple(i)

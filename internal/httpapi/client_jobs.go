@@ -9,8 +9,14 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/jobs"
 )
+
+// ErrMetricMismatch is returned by Estimate when a spec pinned to a
+// metric is submitted through a client whose server advertises a
+// different one; the refusal is local, before any network round-trip.
+var ErrMetricMismatch = errors.New("httpapi: spec compiled for a different metric than the server runs")
 
 // decodeView decodes a jobs.View response, treating non-2xx statuses
 // as errors.
@@ -43,6 +49,15 @@ func decodeView(resp *http.Response) (*jobs.View, error) {
 // jobs.ErrTableFull) detects a capacity refusal that outlasted every
 // attempt.
 func (c *Client) Estimate(ctx context.Context, spec jobs.Spec) (*jobs.View, error) {
+	if spec.Metric != "" {
+		m, err := geo.ParseMetric(spec.Metric)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: estimate: %w", err)
+		}
+		if m != c.metric {
+			return nil, fmt.Errorf("%w: spec %s, server %s", ErrMetricMismatch, m, c.metric)
+		}
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: estimate encode: %w", err)

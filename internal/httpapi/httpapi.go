@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/jobs"
 	"repro/internal/lbs"
@@ -71,6 +72,10 @@ type metaResponse struct {
 	MinY float64 `json:"min_y"`
 	MaxX float64 `json:"max_x"`
 	MaxY float64 `json:"max_y"`
+	// Metric names the backend's distance metric (euclidean |
+	// haversine). Absent on pre-geodesic servers, which clients read as
+	// euclidean.
+	Metric string `json:"metric,omitempty"`
 }
 
 type wireRecord struct {
@@ -195,6 +200,9 @@ type Server struct {
 	mutator live.Mutator
 	jobs    *jobs.Manager
 	mux     *http.ServeMux
+	// metric is the backend's distance metric, probed once at
+	// construction (metricOf) and advertised on /v1/meta and /v1/stats.
+	metric geo.Metric
 	// partials counts answers served degraded (partial federation).
 	partials atomic.Int64
 }
@@ -222,6 +230,7 @@ func NewServerWith(svc lbs.Querier, opts ServerOptions) *Server {
 		mutator: opts.Mutator,
 		jobs:    jobs.NewManager(svc, opts.Jobs),
 		mux:     http.NewServeMux(),
+		metric:  metricOf(svc),
 	}
 	s.mux.HandleFunc("/v1/meta", s.handleMeta)
 	s.mux.HandleFunc("/v1/lr", s.handleLR)
@@ -274,7 +283,26 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, metaResponse{
 		K:    s.svc.K(),
 		MinX: b.Min.X, MinY: b.Min.Y, MaxX: b.Max.X, MaxY: b.Max.Y,
+		Metric: s.metric.String(),
 	})
+}
+
+// metricOf walks a backend's wrapper chain (lbs.Wrapper) for a layer
+// that reports its distance metric — lbs.Service, shard.Router,
+// live.Database and live.Cluster all do. A chain exposing none is
+// Euclidean: every pre-geodesic backend ranks in the plane.
+func metricOf(q lbs.Querier) geo.Metric {
+	for q != nil {
+		if mm, ok := q.(interface{ Metric() geo.Metric }); ok {
+			return mm.Metric()
+		}
+		iw, ok := q.(lbs.Wrapper)
+		if !ok {
+			break
+		}
+		q = iw.Inner()
+	}
+	return geo.Euclidean
 }
 
 // parseQuery extracts the location and selection from the URL.
@@ -438,6 +466,7 @@ type Client struct {
 	retry   RetryPolicy
 	k       int
 	bounds  geom.Rect
+	metric  geo.Metric
 	queries atomic.Int64
 }
 
@@ -478,6 +507,11 @@ func NewClient(ctx context.Context, baseURL string, sel Selection, httpClient *h
 	}
 	c.k = meta.K
 	c.bounds = geom.NewRect(geom.Pt(meta.MinX, meta.MinY), geom.Pt(meta.MaxX, meta.MaxY))
+	// An absent metric field (pre-geodesic server) parses as Euclidean.
+	c.metric, err = geo.ParseMetric(meta.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: meta: %w", err)
+	}
 	return c, nil
 }
 
@@ -486,6 +520,12 @@ func (c *Client) Bounds() geom.Rect { return c.bounds }
 
 // K implements core.Oracle.
 func (c *Client) K() int { return c.k }
+
+// Metric is the distance metric the remote service advertised on
+// /v1/meta (Euclidean for pre-geodesic servers). Distances in wire
+// records are expressed in it, so estimators compiled for one metric
+// must not run against a client reporting another.
+func (c *Client) Metric() geo.Metric { return c.metric }
 
 // QueryCount implements core.Oracle.
 func (c *Client) QueryCount() int64 { return c.queries.Load() }

@@ -29,6 +29,7 @@ import (
 	"net/http"
 
 	"repro/internal/faults"
+	"repro/internal/geo"
 	"repro/internal/jobs"
 	"repro/internal/lbs"
 	"repro/internal/live"
@@ -46,6 +47,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBodyBytes)).Decode(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid estimate body: %v", err)})
 		return
+	}
+	if spec.Metric != "" {
+		// A spec pinned to a metric only runs on a backend ranking in it:
+		// the estimates would otherwise silently change meaning.
+		m, err := geo.ParseMetric(spec.Metric)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if m != s.metric {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("spec compiled for metric %s, server runs %s", m, s.metric),
+			})
+			return
+		}
 	}
 	j, err := s.jobs.Create(spec)
 	if err != nil {
@@ -239,6 +255,8 @@ type statsResponse struct {
 	// Queries is the backend's lifetime query count (the paper's cost
 	// metric).
 	Queries int64 `json:"queries"`
+	// Metric names the backend's distance metric (euclidean | haversine).
+	Metric string `json:"metric,omitempty"`
 	// BudgetRemaining is the service budget still available, or -1
 	// when the budget is unlimited (or unknown for a custom backend).
 	BudgetRemaining int64 `json:"budget_remaining"`
@@ -280,6 +298,7 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Queries:         s.svc.QueryCount(),
+		Metric:          s.metric.String(),
 		BudgetRemaining: -1,
 		PartialAnswers:  s.partials.Load(),
 		Jobs:            s.jobs.Counts(),

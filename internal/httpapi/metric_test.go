@@ -1,0 +1,143 @@
+package httpapi
+
+// Metric round-trip over the wire: /v1/meta and /v1/stats advertise
+// the backend's metric (probed through the Wrapper chain), NewClient
+// adopts it, and a job spec pinned to a different metric is refused —
+// client-side before any network round-trip, and server-side with a
+// 400 for clients that skip the check.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+	"repro/internal/jobs"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+func geodesicTestService(n int, k int) *lbs.Service {
+	sc := workload.GeoUS(n, 3, workload.DensityGauss)
+	return lbs.NewService(sc.DB, lbs.Options{K: k, Metric: geo.Haversine})
+}
+
+func TestMetricRoundTripAndMismatch(t *testing.T) {
+	svc := geodesicTestService(200, 3)
+	// Wrap the service so the metric probe has to walk the chain.
+	cache := lbs.NewCachedOracle(svc, lbs.CacheOptions{Metric: geo.Haversine})
+	ts := httptest.NewServer(NewServer(cache))
+	defer ts.Close()
+	ctx := context.Background()
+
+	c, err := NewClient(ctx, ts.URL, Selection{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Metric() != geo.Haversine {
+		t.Fatalf("client metric = %v, want haversine", c.Metric())
+	}
+
+	// /v1/meta and /v1/stats both name it.
+	for _, path := range []string{"/v1/meta", "/v1/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Metric string `json:"metric"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if body.Metric != "haversine" {
+			t.Fatalf("%s metric = %q, want haversine", path, body.Metric)
+		}
+	}
+
+	// Client-side refusal happens before any request is sent.
+	_, err = c.Estimate(ctx, jobs.Spec{Metric: "euclidean"})
+	if !errors.Is(err, ErrMetricMismatch) {
+		t.Fatalf("Estimate err = %v, want ErrMetricMismatch", err)
+	}
+
+	// A client that skips the check gets a 400 with the reason.
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+		strings.NewReader(`{"metric":"euclidean"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "metric") {
+		t.Fatalf("error %q does not name the metric", er.Error)
+	}
+
+	// A matching pinned metric passes the gate (the spec is otherwise
+	// empty, so job creation rejects it — with a spec error, not the
+	// metric gate's).
+	_, err = c.Estimate(ctx, jobs.Spec{Metric: "haversine"})
+	if errors.Is(err, ErrMetricMismatch) {
+		t.Fatal("matching metric refused")
+	}
+
+	// An Euclidean server still reports its metric and accepts
+	// unpinned specs from geodesic-unaware clients.
+	plain := lbs.NewService(workload.USASchools(100, 5).DB, lbs.Options{K: 3})
+	ts2 := httptest.NewServer(NewServer(plain))
+	defer ts2.Close()
+	c2, err := NewClient(ctx, ts2.URL, Selection{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Metric() != geo.Euclidean {
+		t.Fatalf("plain client metric = %v, want euclidean", c2.Metric())
+	}
+}
+
+// TestMetricGeodesicWireDistances pins the unit on the wire: a
+// geodesic server reports great-circle km in record distances,
+// matching a direct in-process query bit for bit.
+func TestMetricGeodesicWireDistances(t *testing.T) {
+	svc := geodesicTestService(300, 5)
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+	ctx := context.Background()
+	c, err := NewClient(ctx, ts.URL, Selection{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := geodesicTestService(300, 5)
+	q := geom.Pt(-100, 40)
+	want, err := ref.QueryLR(ctx, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.QueryLR(ctx, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("record %d: got (%d, %v), want (%d, %v)",
+				i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}

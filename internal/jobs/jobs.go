@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/lbs"
 )
 
@@ -94,6 +95,13 @@ type Spec struct {
 	Seed int64 `json:"seed"`
 	// Aggregates are the declarative aggregate specs to estimate.
 	Aggregates []core.AggSpec `json:"aggregates"`
+	// Metric names the distance metric this spec was compiled for
+	// (euclidean | haversine). Empty accepts whatever the server runs;
+	// set, the server (and the HTTP client, before spending a network
+	// round-trip) refuses to run the job against a backend ranking in a
+	// different metric — the estimates would silently mean something
+	// else.
+	Metric string `json:"metric,omitempty"`
 	// Options bound the run.
 	Options RunOptions `json:"options"`
 }
@@ -116,6 +124,11 @@ func (s *Spec) Validate() error {
 	}
 	if len(s.Aggregates) == 0 {
 		return fmt.Errorf("jobs: no aggregates given")
+	}
+	if s.Metric != "" {
+		if _, err := geo.ParseMetric(s.Metric); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
 	}
 	o := s.Options
 	if o.MaxSamples < 0 || o.MaxQueries < 0 || o.TargetCI < 0 {

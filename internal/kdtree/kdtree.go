@@ -30,6 +30,12 @@ import (
 type Tree struct {
 	pts   []geom.Point // original points, indexed by caller indices
 	nodes []node       // implicit tree in preorder
+
+	// Whole-set coordinate extents, recorded at build time for the
+	// geodesic pruning bounds (see geodesic.go): the X (longitude)
+	// range and the largest |Y| (latitude magnitude). One O(n) pass;
+	// the Euclidean query paths never read them.
+	minX, maxX, maxAbsY float64
 }
 
 type node struct {
@@ -65,7 +71,29 @@ func BuildOwned(pts []geom.Point) *Tree {
 	} else {
 		t.build(idx, 0)
 	}
+	t.computeExtents()
 	return t
+}
+
+// computeExtents records the whole-set coordinate extents consumed by
+// the geodesic pruning bounds.
+func (t *Tree) computeExtents() {
+	if len(t.pts) == 0 {
+		return
+	}
+	t.minX, t.maxX = t.pts[0].X, t.pts[0].X
+	t.maxAbsY = math.Abs(t.pts[0].Y)
+	for _, p := range t.pts[1:] {
+		if p.X < t.minX {
+			t.minX = p.X
+		}
+		if p.X > t.maxX {
+			t.maxX = p.X
+		}
+		if a := math.Abs(p.Y); a > t.maxAbsY {
+			t.maxAbsY = a
+		}
+	}
 }
 
 // parallelBuildMin is the point count below which a parallel build is
@@ -295,6 +323,7 @@ func BuildPreordered(pts []geom.Point) *Tree {
 	}
 	t.nodes = make([]node, 0, len(pts))
 	t.buildPre(0, len(pts), 0)
+	t.computeExtents()
 	return t
 }
 

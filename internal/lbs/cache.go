@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 )
 
@@ -27,7 +28,19 @@ type CacheOptions struct {
 	// entry. Zero keys on the exact floating-point bit pattern — hits
 	// then replay answers for exactly repeated points only, which keeps
 	// the wrapper fully transparent to the estimators.
+	//
+	// The quantum is expressed in the Metric's unit: plane units under
+	// geo.Euclidean (cells of exactly Quantum × Quantum), kilometers
+	// under geo.Haversine (cells of Quantum km of latitude by at most
+	// Quantum km of longitude — geo.Metric.CellPitch converts, and the
+	// shrinking of longitude degrees with latitude makes high-latitude
+	// cells conservatively narrow, never too wide).
 	Quantum float64
+	// Metric is the distance metric of the wrapped service stack. It
+	// scales Quantum into per-axis coordinate pitches and must match
+	// the inner Querier's metric. The zero value (geo.Euclidean)
+	// preserves the historical keying bit for bit.
+	Metric geo.Metric
 	// Selection labels the fixed server-side filter used through this
 	// wrapper and is folded into every cache key. Distinct selections
 	// over the same service must use distinct CachedOracle instances
@@ -161,18 +174,22 @@ func (sh *cacheShard) len() int {
 // as immutable, exactly as they must treat the simulator's shared
 // Attrs/Tags maps.
 type CachedOracle struct {
-	inner         Querier
-	quantum       float64
-	sel           string
-	trustFilter   bool
-	shards        []*cacheShard
-	shardMask     uint64
-	hits          atomic.Int64
-	misses        atomic.Int64
-	bypasses      atomic.Int64
-	evictions     atomic.Int64
-	invalidations atomic.Int64
-	restored      atomic.Int64
+	inner   Querier
+	quantum float64
+	// pitchX/pitchY are the per-axis cell pitches Quantum resolves to
+	// under the metric (both equal to quantum under Euclidean).
+	pitchX, pitchY float64
+	metric         geo.Metric
+	sel            string
+	trustFilter    bool
+	shards         []*cacheShard
+	shardMask      uint64
+	hits           atomic.Int64
+	misses         atomic.Int64
+	bypasses       atomic.Int64
+	evictions      atomic.Int64
+	invalidations  atomic.Int64
+	restored       atomic.Int64
 }
 
 var _ Querier = (*CachedOracle)(nil)
@@ -200,9 +217,13 @@ func NewCachedOracle(inner Querier, opts CacheOptions) *CachedOracle {
 		shards /= 2
 	}
 	perShard := opts.Capacity / shards
+	px, py := opts.Metric.CellPitch(opts.Quantum)
 	c := &CachedOracle{
 		inner:       inner,
 		quantum:     opts.Quantum,
+		pitchX:      px,
+		pitchY:      py,
+		metric:      opts.Metric,
 		sel:         opts.Selection,
 		trustFilter: opts.TrustFilter,
 		shards:      make([]*cacheShard, shards),
@@ -235,8 +256,8 @@ func (c *CachedOracle) keyFor(kind uint8, p geom.Point) cacheKey {
 	x, y := normZero(p.X), normZero(p.Y)
 	var qx, qy uint64
 	if c.quantum > 0 {
-		qx = uint64(int64(normZero(math.Floor(x / c.quantum))))
-		qy = uint64(int64(normZero(math.Floor(y / c.quantum))))
+		qx = uint64(int64(normZero(math.Floor(x / c.pitchX))))
+		qy = uint64(int64(normZero(math.Floor(y / c.pitchY))))
 	} else {
 		qx = math.Float64bits(x)
 		qy = math.Float64bits(y)
@@ -273,16 +294,17 @@ func (c *CachedOracle) Stats() CacheStats {
 }
 
 // cellRect reconstructs the region of query points that share a key:
-// the quantization cell [q·quantum, (q+1)·quantum) under a positive
-// quantum, or the single exact point keyed by its bit pattern. It is
-// the geometric footprint Invalidate tests against the dirty region.
+// the per-axis quantization cell [q·pitch, (q+1)·pitch) under a
+// positive quantum, or the single exact point keyed by its bit
+// pattern. It is the geometric footprint Invalidate tests against the
+// dirty region (both in raw coordinate space, whatever the metric).
 func (c *CachedOracle) cellRect(key cacheKey) geom.Rect {
 	if c.quantum > 0 {
-		x0 := float64(int64(key.qx)) * c.quantum
-		y0 := float64(int64(key.qy)) * c.quantum
+		x0 := float64(int64(key.qx)) * c.pitchX
+		y0 := float64(int64(key.qy)) * c.pitchY
 		return geom.Rect{
 			Min: geom.Point{X: x0, Y: y0},
-			Max: geom.Point{X: x0 + c.quantum, Y: y0 + c.quantum},
+			Max: geom.Point{X: x0 + c.pitchX, Y: y0 + c.pitchY},
 		}
 	}
 	p := geom.Point{X: math.Float64frombits(key.qx), Y: math.Float64frombits(key.qy)}

@@ -1,0 +1,46 @@
+package lbs
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+)
+
+// TestCacheGeodesicCellPitch pins that CacheOptions.Quantum is
+// interpreted in the cache's metric: under Haversine the quantum is
+// kilometers and geo.Metric.CellPitch converts it to degree pitches,
+// so a quantum of one degree-equivalent (geo.KmPerDeg km) yields 1°×1°
+// cells — while the same numeric quantum under Euclidean yields cells
+// ~111 units wide that lump everything together. The three probe
+// points split 2-misses/1-hit geodesically and 1-miss/2-hits planarly;
+// a cache built for the wrong metric would share answers across ~111 km.
+func TestCacheGeodesicCellPitch(t *testing.T) {
+	ctx := context.Background()
+	pts := []geom.Point{geom.Pt(5.1, 5.1), geom.Pt(5.9, 5.9), geom.Pt(6.1, 5.1)}
+
+	geodesic := NewCachedOracle(
+		NewService(testDB(t), Options{K: 1, Metric: geo.Haversine}),
+		CacheOptions{Quantum: geo.KmPerDeg, Metric: geo.Haversine})
+	for _, p := range pts {
+		if _, err := geodesic.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := geodesic.Stats(); st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("haversine stats = %+v, want 2 misses / 1 hit (1°×1° cells)", st)
+	}
+
+	planar := NewCachedOracle(
+		NewService(testDB(t), Options{K: 1}),
+		CacheOptions{Quantum: geo.KmPerDeg})
+	for _, p := range pts {
+		if _, err := planar.QueryLR(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := planar.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("euclidean stats = %+v, want 1 miss / 2 hits (~111-unit cells)", st)
+	}
+}

@@ -1,0 +1,46 @@
+package lbs
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+)
+
+// geodesicBenchService mirrors allocTestService on degree coordinates
+// over the continental-US window, ranked under Haversine.
+func geodesicBenchService(n, k int) *Service {
+	rng := rand.New(rand.NewSource(5))
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		tuples[i] = Tuple{
+			ID:    int64(i + 1),
+			Loc:   geom.Pt(-125+rng.Float64()*59, 24+rng.Float64()*25),
+			Attrs: map[string]float64{"pop": rng.Float64()},
+		}
+	}
+	db := NewDatabase(geom.NewRect(geom.Pt(-125, 24), geom.Pt(-66, 49)), tuples)
+	return NewService(db, Options{K: k, Metric: geo.Haversine})
+}
+
+// BenchmarkQueryLRGeodesic is the geodesic twin of BenchmarkQueryLR:
+// the same oracle hot path (tree search + record marshalling) with
+// Haversine ranking and great-circle wire distances. Tracked in
+// BENCH_geom.json next to the Euclidean number so the geodesic
+// overhead stays visible.
+func BenchmarkQueryLRGeodesic(b *testing.B) {
+	svc := geodesicBenchService(10000, 8)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Pt(-125+rng.Float64()*59, 24+rng.Float64()*25)
+		if _, err := svc.QueryLR(ctx, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "q/s")
+}

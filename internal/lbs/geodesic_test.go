@@ -1,0 +1,146 @@
+package lbs_test
+
+// Geodesic oracle pins: a Service with Options.Metric = geo.Haversine
+// must answer exactly what a brute-force great-circle scan over the
+// whole database would — same IDs, same order, bit-identical reported
+// distances — on seeded 10k-tuple city workloads. The brute oracle
+// restates the ranking contract from first principles (Haversine on
+// effective locations, ties by tuple ID, K cap, MaxRadius cutoff) so
+// any divergence in the tree's geodesic pruning shows up as a
+// mismatch rather than a silently-wrong neighbor.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+// bruteHaversineLR is the oracle: rank every tuple by great-circle
+// distance to q on its effective location, break exact ties by ID,
+// drop beyond maxRadius (when positive), cap at k.
+func bruteHaversineLR(db *lbs.Database, q geom.Point, k int, maxRadius float64) []lbs.LRRecord {
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, 0, db.Len())
+	for i := 0; i < db.Len(); i++ {
+		d := geo.HaversineDist(q, db.EffectiveLoc(i))
+		if maxRadius > 0 && d > maxRadius {
+			continue
+		}
+		cands = append(cands, cand{i, d})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return db.Tuple(cands[a].i).ID < db.Tuple(cands[b].i).ID
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]lbs.LRRecord, 0, len(cands))
+	for _, c := range cands {
+		t := db.Tuple(c.i)
+		out = append(out, lbs.LRRecord{
+			ID: t.ID, Loc: db.EffectiveLoc(c.i), Dist: c.d,
+			Name: t.Name, Category: t.Category, Attrs: t.Attrs, Tags: t.Tags,
+		})
+	}
+	return out
+}
+
+// geodesicQueryPoints draws the adversarial query mix: uniform points
+// over the scenario box, exact tuple locations (distance ties),
+// points outside the box, high-latitude points (where the lune bounds
+// are weakest), and near-antimeridian points (longitude wraparound).
+func geodesicQueryPoints(rng *rand.Rand, db *lbs.Database, n int) []geom.Point {
+	b := db.Bounds()
+	pts := make([]geom.Point, 0, n+n/2+16)
+	for i := 0; i < n; i++ {
+		pts = append(pts, geom.Pt(
+			b.Min.X+rng.Float64()*b.Width(),
+			b.Min.Y+rng.Float64()*b.Height()))
+	}
+	for i := 0; i < n/2; i++ {
+		pts = append(pts, db.EffectiveLoc(rng.Intn(db.Len())))
+	}
+	pts = append(pts,
+		geom.Pt(b.Min.X-30, b.Min.Y-10), // outside, southwest
+		geom.Pt(b.Max.X+30, b.Max.Y+10), // outside, northeast
+		geom.Pt(b.Min.X, 84),            // near-polar
+		geom.Pt(b.Max.X, -84),
+		geom.Pt(179.5, (b.Min.Y+b.Max.Y)/2), // antimeridian, both sides
+		geom.Pt(-179.5, (b.Min.Y+b.Max.Y)/2),
+	)
+	return pts
+}
+
+func TestGeodesicServiceMatchesBruteOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		db   *lbs.Database
+		k    int
+		maxR float64
+	}{
+		{"geo-us-zipf-k10", workload.GeoUS(10000, 41, workload.DensityZipf).DB, 10, 0},
+		{"geo-us-zipf-k1", workload.GeoUS(10000, 42, workload.DensityZipf).DB, 1, 0},
+		{"geo-us-gauss-radius", workload.GeoUS(10000, 43, workload.DensityGauss).DB, 8, 150},
+		{"geo-china-zipf-radius", workload.GeoChina(10000, 44, workload.DensityZipf).DB, 5, 60},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			svc := lbs.NewService(tc.db, lbs.Options{
+				K: tc.k, MaxRadius: tc.maxR, Metric: geo.Haversine,
+			})
+			rng := rand.New(rand.NewSource(7))
+			pts := geodesicQueryPoints(rng, tc.db, 40)
+			for i, q := range pts {
+				want := bruteHaversineLR(tc.db, q, tc.k, tc.maxR)
+				got, err := svc.QueryLR(ctx, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("point %d (%v): oracle mismatch\nwant %+v\ngot  %+v", i, q, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestGeodesicDistancesAreKilometers sanity-pins the unit: reported
+// distances on a geodesic service are great-circle km, bounded by
+// half the Earth's circumference, and a query at a tuple's exact
+// location reports distance 0 to it.
+func TestGeodesicDistancesAreKilometers(t *testing.T) {
+	db := workload.GeoUS(2000, 5, workload.DensityGauss).DB
+	svc := lbs.NewService(db, lbs.Options{K: 3, Metric: geo.Haversine})
+	ctx := context.Background()
+	half := math.Pi * geo.EarthRadiusKm
+	for i := 0; i < 50; i++ {
+		q := db.EffectiveLoc(i * 37 % db.Len())
+		recs, err := svc.QueryLR(ctx, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 || recs[0].Dist != 0 {
+			t.Fatalf("query at tuple location: want leading dist 0, got %+v", recs)
+		}
+		for _, r := range recs {
+			if r.Dist < 0 || r.Dist > half {
+				t.Fatalf("dist %v outside [0, %v]", r.Dist, half)
+			}
+		}
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 )
@@ -403,6 +404,15 @@ const (
 type Options struct {
 	// K is the number of results per query (the interface's top-k).
 	K int
+	// Metric selects the distance function the service ranks by and
+	// interprets MaxRadius in. The zero value (geo.Euclidean) is the
+	// planar default and preserves the historical behavior bit for
+	// bit; geo.Haversine treats coordinates as (lon°, lat°) and
+	// measures in kilometers. Every layer of a deployment — member
+	// services, federation routers, caches, clients — must agree on
+	// the metric; the shard and live constructors thread it through
+	// automatically.
+	Metric geo.Metric
 	// MaxRadius, when positive, caps how far returned tuples may be
 	// from the query point; queries with no tuple within the radius
 	// return an empty answer (the dmax constraint of §5.3).
@@ -569,6 +579,11 @@ func (s *Service) DB() *Database { return s.db }
 // Options returns the service configuration.
 func (s *Service) Options() Options { return s.opts }
 
+// Metric returns the distance metric the service ranks by. The HTTP
+// layer probes this through wrapper chains to report the active
+// metric on /v1/meta and /v1/stats.
+func (s *Service) Metric() geo.Metric { return s.opts.Metric }
+
 // K returns the interface's top-k.
 func (s *Service) K() int { return s.opts.K }
 
@@ -644,7 +659,7 @@ func (s *Service) VirtualWaited() time.Duration { return s.meter.VirtualWaited()
 func (s *Service) rankCandidates(sc *queryScratch, q geom.Point, want int, kf func(int) bool, maxDist float64) []kdtree.Neighbor {
 	fetch := want + 1 // +1 probes for a tie at the boundary
 	for {
-		nbs := s.db.tree.KNNWithinInto(q, fetch, maxDist, kf, sc.nbs)
+		nbs := s.db.tree.KNNWithinMetricInto(s.opts.Metric, q, fetch, maxDist, kf, sc.nbs)
 		sc.nbs = nbs
 		if len(nbs) <= want {
 			// The whole eligible set fits: no selection to resolve.
@@ -792,6 +807,18 @@ func (s *Service) answerLR(q geom.Point, filter Filter) []LRRecord {
 	return out
 }
 
+// wireDist is the distance reported in LRRecord.Dist. Euclidean stays
+// the historical geom.Point.Dist (math.Hypot — which differs from the
+// internal Sqrt(Dist2) rank key in the last ulp, a wire-format
+// contract pinned by the store round-trip tests); Haversine reports
+// great-circle kilometers, the same value the ranking used.
+func (o *Options) wireDist(q, loc geom.Point) float64 {
+	if o.Metric == geo.Haversine {
+		return geo.HaversineDist(q, loc)
+	}
+	return q.Dist(loc)
+}
+
 // answerLRWith is answerLR over an explicit scratch (batch callers
 // hold one scratch across the whole batch). Only the returned records
 // are freshly allocated.
@@ -804,7 +831,7 @@ func (s *Service) answerLRWith(sc *queryScratch, q geom.Point, filter Filter) []
 		out[i] = LRRecord{
 			ID:       t.ID,
 			Loc:      loc,
-			Dist:     q.Dist(loc),
+			Dist:     s.opts.wireDist(q, loc),
 			Name:     t.Name,
 			Category: t.Category,
 			Attrs:    t.Attrs,

@@ -20,15 +20,26 @@ func (o Options) CandidateCount() int {
 	return o.K
 }
 
-// RankDist is the merge key of composite fronts: the distance from q
-// to a candidate's effective location, computed exactly as the k-d
-// tree computes it (Sqrt of Dist2, not Hypot), so a merged ordering
-// reproduces the per-source — and therefore the union service's —
-// ordering bit for bit. (LRRecord.Dist is the Hypot-computed wire
-// distance; the two can differ in the last ulp, which is why it is not
-// the merge key.)
+// RankDist is the Euclidean merge key of composite fronts: the
+// distance from q to a candidate's effective location, computed
+// exactly as the k-d tree computes it (Sqrt of Dist2, not Hypot), so
+// a merged ordering reproduces the per-source — and therefore the
+// union service's — ordering bit for bit. (LRRecord.Dist is the
+// Hypot-computed wire distance; the two can differ in the last ulp,
+// which is why it is not the merge key.) Metric-aware fronts use
+// Options.RankDist, which degrades to this exact expression under
+// geo.Euclidean.
 func RankDist(q geom.Point, rec *LRRecord) float64 {
 	return math.Sqrt(q.Dist2(rec.Loc))
+}
+
+// RankDist is the metric-aware merge key: geo.Metric.Dist evaluates
+// the same canonical expression the k-d tree ranks with under either
+// metric (Sqrt∘Dist2 for Euclidean, the canonical Haversine for
+// geodesic), so merged orderings stay bit-identical to single-service
+// orderings in both modes.
+func (o Options) RankDist(q geom.Point, rec *LRRecord) float64 {
+	return o.Metric.Dist(q, rec.Loc)
 }
 
 // MergeRanked merges distance-ranked candidate answers from disjoint
@@ -56,7 +67,7 @@ func MergeRanked(q geom.Point, norm Options, lists ...[]LRRecord) []LRRecord {
 	cands := make([]cand, 0, n)
 	for _, l := range lists {
 		for i := range l {
-			cands = append(cands, cand{rec: l[i], dist: RankDist(q, &l[i])})
+			cands = append(cands, cand{rec: l[i], dist: norm.RankDist(q, &l[i])})
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool {

@@ -58,7 +58,7 @@ func NewCluster(base *lbs.Database, opts lbs.Options, n int, lopts Options) (*Cl
 	}
 	shards := make([]shard.Shard, len(parts))
 	for i, p := range parts {
-		member, err := New(p, lbs.Options{K: norm.CandidateCount(), MaxRadius: norm.MaxRadius}, lopts)
+		member, err := New(p, lbs.Options{K: norm.CandidateCount(), MaxRadius: norm.MaxRadius, Metric: norm.Metric}, lopts)
 		if err != nil {
 			return nil, err
 		}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/lbs"
 )
@@ -252,7 +253,7 @@ func (d *Database) SetJournal(j Journal) {
 // candOpts is the candidate-source configuration shared by base and
 // delta services (see snapshot).
 func (d *Database) candOpts() lbs.Options {
-	return lbs.Options{K: d.opts.CandidateCount(), MaxRadius: d.opts.MaxRadius}
+	return lbs.Options{K: d.opts.CandidateCount(), MaxRadius: d.opts.MaxRadius, Metric: d.opts.Metric}
 }
 
 // unmetered strips budget and limiter from the logical options: the
@@ -298,6 +299,9 @@ func (d *Database) Bounds() geom.Rect { return d.snap.Load().base.Bounds() }
 
 // K implements lbs.Querier.
 func (d *Database) K() int { return d.opts.K }
+
+// Metric returns the distance metric the live view ranks by.
+func (d *Database) Metric() geo.Metric { return d.opts.Metric }
 
 // Options returns the normalized logical options.
 func (d *Database) Options() lbs.Options { return d.opts }

@@ -6,6 +6,7 @@ import (
 
 	"context"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/lbs"
 )
@@ -57,15 +58,19 @@ func (dr *dirty) add(p geom.Point) {
 	dr.rect.Max.Y = math.Max(dr.rect.Max.Y, p.Y)
 }
 
-// region returns the dirty region: the bounding box of disks of
-// radius r around every touched location, or the whole plane when no
-// finite influence radius exists (r ≤ 0).
-func (dr *dirty) region(r float64) geom.Rect {
+// region returns the dirty region: the bounding box of metric balls
+// of radius r around every touched location, or the whole plane when
+// no finite influence radius exists (r ≤ 0). The expansion is
+// metric-aware (geo.Metric.ExpandRect): under Haversine the margin
+// converts km to degrees conservatively — wider at high latitude,
+// full-circle at the poles — so the region always covers every query
+// point a mutation could influence.
+func (dr *dirty) region(m geo.Metric, r float64) geom.Rect {
 	if r <= 0 {
 		inf := math.Inf(1)
 		return geom.Rect{Min: geom.Pt(-inf, -inf), Max: geom.Pt(inf, inf)}
 	}
-	return dr.rect.Expand(r)
+	return m.ExpandRect(dr.rect, r)
 }
 
 // present reports whether id is currently visible in base+overlay.
@@ -234,7 +239,7 @@ func (d *Database) Apply(ctx context.Context, ops []Op) []Result {
 	d.mu.Unlock()
 	if d.lopts.OnInvalidate != nil {
 		r := math.Max(d.opts.MaxRadius, d.lopts.InvalidationRadius)
-		d.lopts.OnInvalidate(dr.region(r))
+		d.lopts.OnInvalidate(dr.region(d.opts.Metric, r))
 	}
 	return results
 }

@@ -1,0 +1,53 @@
+package shard
+
+// Geodesic federation pins: a Router over 1/2/4/8 shards of a
+// 10k-tuple geodesic city answers bit-identically to a single Service
+// over the union database, serial and batch, with and without a
+// MaxRadius cutoff — the same equivalence property the Euclidean
+// suite pins, under the Haversine metric where the router's
+// scatter-gather ball bounds come from the lune lower bounds instead
+// of planar rect distance.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+	"repro/internal/lbs"
+	"repro/internal/workload"
+)
+
+func TestFederatedEquivalenceGeodesic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-tuple equivalence sweep")
+	}
+	scenarios := []struct {
+		name string
+		db   *lbs.Database
+		opts lbs.Options
+	}{
+		{"geo-us-zipf-k10", workload.GeoUS(10000, 31, workload.DensityZipf).DB,
+			lbs.Options{K: 10, Metric: geo.Haversine}},
+		{"geo-us-gauss-radius", workload.GeoUS(10000, 32, workload.DensityGauss).DB,
+			lbs.Options{K: 5, MaxRadius: 120, Metric: geo.Haversine}},
+		{"geo-china-zipf-k4", workload.GeoChina(10000, 33, workload.DensityZipf).DB,
+			lbs.Options{K: 4, Metric: geo.Haversine}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			for _, n := range shardCounts {
+				parts := Partition(sc.db, n)
+				pts := testPoints(rng, sc.db, parts, 30)
+				// High-latitude and antimeridian probes stress the
+				// geodesic scatter bounds beyond what the generic mix
+				// covers.
+				pts = append(pts,
+					geom.Pt(sc.db.Bounds().Min.X, 84),
+					geom.Pt(179.5, 40), geom.Pt(-179.5, 40))
+				checkEquivalence(t, sc.db, sc.opts, n, pts, nil)
+			}
+		})
+	}
+}

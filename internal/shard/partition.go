@@ -165,7 +165,7 @@ func FromPartsWrapped(parts []*lbs.Database, opts lbs.Options, res Resilience, w
 	}
 	shards := make([]Shard, len(parts))
 	for i, p := range parts {
-		var q lbs.Querier = lbs.NewService(p, lbs.Options{K: candidateK(norm), MaxRadius: norm.MaxRadius})
+		var q lbs.Querier = lbs.NewService(p, lbs.Options{K: candidateK(norm), MaxRadius: norm.MaxRadius, Metric: norm.Metric})
 		if wrap != nil {
 			q = wrap(i, q)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/lbs"
 )
@@ -190,6 +191,10 @@ func (r *Router) Bounds() geom.Rect { return r.bounds }
 // K implements lbs.Querier (the logical top-k).
 func (r *Router) K() int { return r.opts.K }
 
+// Metric returns the distance metric the federation ranks by (every
+// member service carries the same one).
+func (r *Router) Metric() geo.Metric { return r.opts.Metric }
+
 // NumShards returns the federation width.
 func (r *Router) NumShards() int { return len(r.shards) }
 
@@ -254,19 +259,23 @@ func (r *Router) chargeN(ctx context.Context, n int64) (int64, error) {
 // (virtual limiter time, already advanced, is not unwound).
 func (r *Router) refund(n int64) { r.meter.Refund(n) }
 
-// minDist returns the distance from q to the nearest point of rect,
-// computed with the same Dist2+Sqrt pipeline the k-d tree ranks with:
-// correctly-rounded float monotonicity then guarantees that a shard is
-// pruned only if every tuple inside its region is strictly farther
-// than the bound.
-func minDist(q geom.Point, rect geom.Rect) float64 {
-	return math.Sqrt(q.Dist2(rect.Clamp(q)))
+// minDist lower-bounds the distance from q to the nearest point of
+// rect under the router's metric (geo.Metric.RectMinDist). Euclidean
+// is the exact Dist2+Sqrt clamp expression the k-d tree ranks with —
+// correctly-rounded float monotonicity then guarantees that a shard
+// is pruned only if every tuple inside its region is strictly farther
+// than the bound. Haversine is a conservative (possibly loose) lower
+// bound, which preserves the same guarantee: pruning can only skip
+// shards that provably cannot contribute.
+func (r *Router) minDist(q geom.Point, rect geom.Rect) float64 {
+	return r.opts.Metric.RectMinDist(q, rect)
 }
 
-// rankDist is the merge key (see lbs.RankDist: Sqrt of Dist2, the k-d
-// tree's pipeline, not the Hypot wire distance).
-func rankDist(q geom.Point, rec *lbs.LRRecord) float64 {
-	return lbs.RankDist(q, rec)
+// rankDist is the merge key in the router's metric (see
+// lbs.Options.RankDist: the k-d tree's canonical distance pipeline,
+// not the Hypot wire distance).
+func (r *Router) rankDist(q geom.Point, rec *lbs.LRRecord) float64 {
+	return r.opts.RankDist(q, rec)
 }
 
 // breakerOn reports whether health gating is active.
@@ -278,8 +287,11 @@ func (r *Router) breakerOn() bool { return r.res.BreakerThreshold > 0 }
 // dead member's region to its nearest healthy neighbor. Ownership is
 // a routing heuristic only (any choice yields the same merged
 // answer over the reachable members), but it must be total, so
-// federation defines QueryLR for every point on the plane. ok=false
-// means every breaker is open.
+// federation defines QueryLR for every point on the plane — which is
+// also why it deliberately stays planar Dist2 proximity under every
+// metric: the phase-two bound derived from any owner's full answer is
+// valid, so the metric only needs to govern minDist and rankDist.
+// ok=false means every breaker is open.
 func (r *Router) pickOwner(q geom.Point) (int, bool) {
 	best, bestD := -1, math.Inf(1)
 	for i, sh := range r.shards {
@@ -307,7 +319,7 @@ func (r *Router) boundFor(q geom.Point, ownerRecs []lbs.LRRecord) float64 {
 		bound = r.opts.MaxRadius
 	}
 	if len(ownerRecs) >= r.want {
-		if d := rankDist(q, &ownerRecs[r.want-1]); d < bound {
+		if d := r.rankDist(q, &ownerRecs[r.want-1]); d < bound {
 			bound = d
 		}
 	}
@@ -393,7 +405,7 @@ func (r *Router) scatterOne(ctx context.Context, q geom.Point, filter lbs.Filter
 		if i == owner {
 			continue
 		}
-		ball := minDist(q, r.shards[i].Region) <= bound
+		ball := r.minDist(q, r.shards[i].Region) <= bound
 		admitted, probe := true, false
 		if r.breakerOn() {
 			admitted, probe = r.health[i].admit(now, r.res.BreakerCooldown)
@@ -532,7 +544,7 @@ func (r *Router) scatterBatch(ctx context.Context, pts []geom.Point, filter lbs.
 				if st.dropped[i] || si == st.owners[i] {
 					continue
 				}
-				if minDist(q, r.shards[si].Region) <= bounds[i] {
+				if r.minDist(q, r.shards[si].Region) <= bounds[i] {
 					st.missing[i]++
 				}
 			}
@@ -543,7 +555,7 @@ func (r *Router) scatterBatch(ctx context.Context, pts []geom.Point, filter lbs.
 			if st.dropped[i] || si == st.owners[i] {
 				continue
 			}
-			if minDist(q, r.shards[si].Region) <= bounds[i] {
+			if r.minDist(q, r.shards[si].Region) <= bounds[i] {
 				need[si] = append(need[si], i)
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/lbs"
 )
@@ -28,12 +29,16 @@ type DatasetTuple struct {
 
 // Dataset is the JSON dataset shape lbsgen writes.
 type Dataset struct {
-	Scenario string         `json:"scenario"`
-	MinX     float64        `json:"min_x"`
-	MinY     float64        `json:"min_y"`
-	MaxX     float64        `json:"max_x"`
-	MaxY     float64        `json:"max_y"`
-	Tuples   []DatasetTuple `json:"tuples"`
+	Scenario string  `json:"scenario"`
+	MinX     float64 `json:"min_x"`
+	MinY     float64 `json:"min_y"`
+	MaxX     float64 `json:"max_x"`
+	MaxY     float64 `json:"max_y"`
+	// Metric names the distance metric the coordinates are laid out for
+	// (euclidean | haversine); absent in pre-geodesic exports, which
+	// load as euclidean.
+	Metric string         `json:"metric,omitempty"`
+	Tuples []DatasetTuple `json:"tuples"`
 }
 
 // Database builds the in-memory database a JSON dataset describes
@@ -55,17 +60,58 @@ func (d *Dataset) Database() *lbs.Database {
 // LoadDataset opens a dataset file by extension: .lbspack through the
 // paged store, anything else as lbsgen JSON.
 func LoadDataset(path string, poolPages int, m *Metrics) (*lbs.Database, error) {
+	db, _, err := LoadDatasetMetric(path, poolPages, m)
+	return db, err
+}
+
+// DatasetMetric probes which distance metric a dataset file records
+// (pack header field or JSON "metric"; absent = Euclidean) without
+// materializing the database.
+func DatasetMetric(path string) (geo.Metric, error) {
 	if strings.EqualFold(filepath.Ext(path), ".lbspack") {
-		db, _, err := OpenDatabase(path, poolPages, m)
-		return db, err
+		p, err := OpenPack(path, 1, nil)
+		if err != nil {
+			return geo.Euclidean, err
+		}
+		defer p.Close()
+		return p.Metric(), nil
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return geo.Euclidean, err
+	}
+	var hdr struct {
+		Metric string `json:"metric"`
+	}
+	if err := json.Unmarshal(data, &hdr); err != nil {
+		return geo.Euclidean, fmt.Errorf("store: %s: %w", path, err)
+	}
+	m, err := geo.ParseMetric(hdr.Metric)
+	if err != nil {
+		return geo.Euclidean, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// LoadDatasetMetric is LoadDataset plus the distance metric the file
+// records (pack header field or JSON "metric"; absent = Euclidean),
+// so callers can refuse to serve a dataset under the wrong metric.
+func LoadDatasetMetric(path string, poolPages int, m *Metrics) (*lbs.Database, geo.Metric, error) {
+	if strings.EqualFold(filepath.Ext(path), ".lbspack") {
+		db, _, metric, err := OpenDatabaseMetric(path, poolPages, m)
+		return db, metric, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, geo.Euclidean, err
 	}
 	var ds Dataset
 	if err := json.Unmarshal(data, &ds); err != nil {
-		return nil, fmt.Errorf("store: %s: %w", path, err)
+		return nil, geo.Euclidean, fmt.Errorf("store: %s: %w", path, err)
 	}
-	return ds.Database(), nil
+	metric, err := geo.ParseMetric(ds.Metric)
+	if err != nil {
+		return nil, geo.Euclidean, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return ds.Database(), metric, nil
 }

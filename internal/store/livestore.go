@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/geo"
 	"repro/internal/lbs"
 	"repro/internal/live"
 )
@@ -70,14 +71,18 @@ func openLiveStore(s *Store, gen func() *lbs.Database, opts lbs.Options, lopts l
 	var base *lbs.Database
 	var packEpoch uint64
 	if _, err := os.Stat(packPath); err == nil {
-		base, packEpoch, err = OpenDatabase(packPath, s.opts.PoolPages, &s.m)
+		var metric geo.Metric
+		base, packEpoch, metric, err = OpenDatabaseMetric(packPath, s.opts.PoolPages, &s.m)
 		if err != nil {
 			return nil, err
+		}
+		if metric != s.opts.Metric {
+			return nil, fmt.Errorf("store: %s: pack written for metric %s, store configured for %s", packPath, metric, s.opts.Metric)
 		}
 		ls.rec.Warm = true
 	} else {
 		base = gen()
-		if err := WritePack(packPath, base, 0, s.opts.PageSize, &s.m); err != nil {
+		if err := WritePackMetric(packPath, base, s.opts.Metric, 0, s.opts.PageSize, &s.m); err != nil {
 			return nil, err
 		}
 	}
@@ -175,7 +180,7 @@ func (ls *LiveStore) Checkpoint() error {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	db, epoch := ls.db.SnapshotAt()
-	if err := WritePack(ls.s.PackPath(), db, epoch, ls.s.opts.PageSize, &ls.s.m); err != nil {
+	if err := WritePackMetric(ls.s.PackPath(), db, ls.s.opts.Metric, epoch, ls.s.opts.PageSize, &ls.s.m); err != nil {
 		return fmt.Errorf("store: checkpoint pack: %w", err)
 	}
 	// Rotate: re-read the log we have been appending to and carry over

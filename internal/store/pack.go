@@ -34,17 +34,24 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/lbs"
 )
 
 const (
 	packMagic       = "LBSPACK1"
-	packVersion     = 1
+	packVersion     = 2
 	DefaultPageSize = 4096
 	minPageSize     = 256
-	headerSize      = 8 + 4 + 4 + 8 + 8 + 4*8 + 4
-	pageHdrSize     = 4 + 2 + 2 // crc, nrecs, used
+	// headerSizeV1 is the format-1 header: no metric byte. v1 packs
+	// remain readable (their metric is Euclidean by definition — the
+	// format predates geodesic mode).
+	headerSizeV1 = 8 + 4 + 4 + 8 + 8 + 4*8 + 4
+	// headerSize is the format-2 header: a metric byte sits between
+	// the bounds and the checksum.
+	headerSize  = 8 + 4 + 4 + 8 + 8 + 4*8 + 1 + 4
+	pageHdrSize = 4 + 2 + 2 // crc, nrecs, used
 )
 
 // CorruptError is the typed failure of every integrity check in this
@@ -64,10 +71,37 @@ func corrupt(path, format string, args ...any) error {
 	return &CorruptError{Path: path, Detail: fmt.Sprintf(format, args...)}
 }
 
-// WritePack writes db (with its effective locations) as a .lbspack at
-// path, atomically: temp file, fsync, rename. epoch is recorded in
-// the header. The same database always produces the same bytes.
+// UnsupportedVersionError reports a structurally sound pack written by
+// a format version this reader does not implement — version
+// negotiation, distinct from *CorruptError: the file is not damaged,
+// the reader is too old (or the version field genuinely unknown). The
+// check runs before any checksum is interpreted, because the header
+// length itself is version-specific — an old reader checksumming a
+// new header at the wrong length would misreport a healthy file as
+// corrupt.
+type UnsupportedVersionError struct {
+	Path    string
+	Version uint32
+	// Max is the newest format version this reader implements.
+	Max uint32
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("store: %s: pack format version %d not supported (reader implements ≤ %d)", e.Path, e.Version, e.Max)
+}
+
+// WritePack writes db (with its effective locations) as a Euclidean
+// .lbspack at path; see WritePackMetric.
 func WritePack(path string, db *lbs.Database, epoch uint64, pageSize int, m *Metrics) error {
+	return WritePackMetric(path, db, geo.Euclidean, epoch, pageSize, m)
+}
+
+// WritePackMetric writes db (with its effective locations) as a
+// .lbspack at path, atomically: temp file, fsync, rename. epoch and
+// the distance metric of the service stack the pack feeds are
+// recorded in the header (format v2). The same database always
+// produces the same bytes.
+func WritePackMetric(path string, db *lbs.Database, metric geo.Metric, epoch uint64, pageSize int, m *Metrics) error {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
@@ -92,6 +126,7 @@ func WritePack(path string, db *lbs.Database, epoch uint64, pageSize int, m *Met
 	for _, v := range []float64{b.Min.X, b.Min.Y, b.Max.X, b.Max.Y} {
 		hdr = appendF64(hdr, v)
 	}
+	hdr = append(hdr, byte(metric))
 	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
 	page := make([]byte, pageSize)
 	copy(page, hdr)
@@ -168,34 +203,54 @@ type Pack struct {
 	count    uint64
 	epoch    uint64
 	bounds   geom.Rect
+	metric   geo.Metric
 	npages   int
 	pool     *pool
 }
 
 // OpenPack opens and validates a .lbspack. poolPages bounds how many
 // pages the buffer pool keeps resident (≥ 1; 0 means DefaultPoolPages).
+//
+// Version negotiation runs on a short magic+version probe before the
+// header checksum is interpreted: the header length is
+// version-specific, so checksumming first would misreport a healthy
+// newer-format file as corrupt. A version this reader does not
+// implement is a typed *UnsupportedVersionError; format-1 packs open
+// fine and report geo.Euclidean (the format predates geodesic mode).
 func OpenPack(path string, poolPages int, m *Metrics) (*Pack, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	hdr := make([]byte, headerSize)
+	probe := make([]byte, 12)
+	if _, err := f.ReadAt(probe, 0); err != nil {
+		f.Close()
+		return nil, corrupt(path, "short header: %v", err)
+	}
+	if string(probe[:8]) != packMagic {
+		f.Close()
+		return nil, corrupt(path, "bad magic %q", probe[:8])
+	}
+	version := binary.LittleEndian.Uint32(probe[8:])
+	hdrSize := 0
+	switch version {
+	case 1:
+		hdrSize = headerSizeV1
+	case 2:
+		hdrSize = headerSize
+	default:
+		f.Close()
+		return nil, &UnsupportedVersionError{Path: path, Version: version, Max: packVersion}
+	}
+	hdr := make([]byte, hdrSize)
 	if _, err := f.ReadAt(hdr, 0); err != nil {
 		f.Close()
 		return nil, corrupt(path, "short header: %v", err)
 	}
-	if string(hdr[:8]) != packMagic {
-		f.Close()
-		return nil, corrupt(path, "bad magic %q", hdr[:8])
-	}
-	wantCRC := binary.LittleEndian.Uint32(hdr[headerSize-4:])
-	if got := crc32.ChecksumIEEE(hdr[:headerSize-4]); got != wantCRC {
+	wantCRC := binary.LittleEndian.Uint32(hdr[hdrSize-4:])
+	if got := crc32.ChecksumIEEE(hdr[:hdrSize-4]); got != wantCRC {
 		f.Close()
 		return nil, corrupt(path, "header checksum %08x, want %08x", got, wantCRC)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != packVersion {
-		f.Close()
-		return nil, corrupt(path, "version %d (want %d)", v, packVersion)
 	}
 	p := &Pack{
 		f:        f,
@@ -203,6 +258,17 @@ func OpenPack(path string, poolPages int, m *Metrics) (*Pack, error) {
 		pageSize: int(binary.LittleEndian.Uint32(hdr[12:])),
 		count:    binary.LittleEndian.Uint64(hdr[16:]),
 		epoch:    binary.LittleEndian.Uint64(hdr[24:]),
+	}
+	if version >= 2 {
+		switch mb := hdr[64]; mb {
+		case byte(geo.Euclidean):
+			p.metric = geo.Euclidean
+		case byte(geo.Haversine):
+			p.metric = geo.Haversine
+		default:
+			f.Close()
+			return nil, corrupt(path, "unknown metric byte %d", mb)
+		}
 	}
 	if p.pageSize < minPageSize {
 		f.Close()
@@ -248,6 +314,10 @@ func (p *Pack) Len() int { return int(p.count) }
 
 // Epoch is the live-database epoch recorded when the pack was written.
 func (p *Pack) Epoch() uint64 { return p.epoch }
+
+// Metric is the distance metric recorded when the pack was written.
+// Format-1 packs always report geo.Euclidean.
+func (p *Pack) Metric() geo.Metric { return p.metric }
 
 // KDPreordered implements lbs.PreorderedSource: WritePack always
 // records tuples in the source database's kd-tree preorder, so a
@@ -298,9 +368,17 @@ func (p *Pack) Close() error { return p.f.Close() }
 // OpenDatabase opens path and materializes the lbs.Database it holds
 // (kd-tree rebuilt from the paged scan), returning the recorded epoch.
 func OpenDatabase(path string, poolPages int, m *Metrics) (*lbs.Database, uint64, error) {
+	db, epoch, _, err := OpenDatabaseMetric(path, poolPages, m)
+	return db, epoch, err
+}
+
+// OpenDatabaseMetric is OpenDatabase plus the distance metric recorded
+// in the pack header, so callers can refuse to serve a pack under a
+// metric it was not written for.
+func OpenDatabaseMetric(path string, poolPages int, m *Metrics) (*lbs.Database, uint64, geo.Metric, error) {
 	p, err := OpenPack(path, poolPages, m)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, geo.Euclidean, err
 	}
 	defer p.Close()
 	db, err := lbs.NewDatabaseFromStore(p)
@@ -308,7 +386,7 @@ func OpenDatabase(path string, poolPages int, m *Metrics) (*lbs.Database, uint64
 		if _, ok := err.(*CorruptError); !ok {
 			err = corrupt(path, "%v", err)
 		}
-		return nil, 0, err
+		return nil, 0, geo.Euclidean, err
 	}
-	return db, p.epoch, nil
+	return db, p.epoch, p.metric, nil
 }

@@ -158,6 +158,17 @@ func (r *reader) point() (geom.Point, error) {
 	return geom.Pt(x, y), nil
 }
 
+// capHint bounds a decoded element count used as a map size hint: a
+// corrupt count must not drive a giant allocation before the
+// inevitable truncation error surfaces on the first entry read (every
+// entry costs at least one input byte).
+func capHint(n uint64, remaining int) int {
+	if n > uint64(remaining) {
+		return remaining
+	}
+	return int(n)
+}
+
 // tuple decodes one record written by appendTuple.
 func (r *reader) tuple() (lbs.Tuple, geom.Point, error) {
 	var t lbs.Tuple
@@ -183,7 +194,7 @@ func (r *reader) tuple() (lbs.Tuple, geom.Point, error) {
 		return t, eff, err
 	}
 	if nattrs > 0 {
-		t.Attrs = make(map[string]float64, nattrs)
+		t.Attrs = make(map[string]float64, capHint(nattrs, len(r.b)-r.i))
 		for j := uint64(0); j < nattrs; j++ {
 			k, err := r.strShared()
 			if err != nil {
@@ -199,7 +210,7 @@ func (r *reader) tuple() (lbs.Tuple, geom.Point, error) {
 		return t, eff, err
 	}
 	if ntags > 0 {
-		t.Tags = make(map[string]string, ntags)
+		t.Tags = make(map[string]string, capHint(ntags, len(r.b)-r.i))
 		for j := uint64(0); j < ntags; j++ {
 			k, err := r.strShared()
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/geo"
 	"repro/internal/lbs"
 	"repro/internal/live"
 )
@@ -91,6 +92,11 @@ type Options struct {
 	// against process death); on, it also survives power loss, at a
 	// latency cost per Apply.
 	SyncWAL bool
+	// Metric is the distance metric of the service stack this store
+	// backs. It is stamped into every pack header written and checked
+	// on warm opens: a pack written for one metric never silently
+	// serves another (the recorded coordinates mean different things).
+	Metric geo.Metric
 }
 
 // File layout inside a store directory.
@@ -142,14 +148,19 @@ func (s *Store) PackPath() string { return filepath.Join(s.dir, packFile) }
 // OpenOrCreateDatabase returns the store's database: a paged scan of
 // the existing pack when one is present (warm=true), else gen() is
 // invoked to build it cold and the result is packed for next time.
+// A warm pack recorded under a different metric than the store's is
+// refused — its coordinates were laid out for another geometry.
 func (s *Store) OpenOrCreateDatabase(gen func() *lbs.Database) (db *lbs.Database, warm bool, err error) {
 	path := s.PackPath()
 	if _, statErr := os.Stat(path); statErr == nil {
-		db, _, err = OpenDatabase(path, s.opts.PoolPages, &s.m)
+		db, _, metric, err := OpenDatabaseMetric(path, s.opts.PoolPages, &s.m)
+		if err == nil && metric != s.opts.Metric {
+			return nil, true, fmt.Errorf("store: %s: pack written for metric %s, store configured for %s", path, metric, s.opts.Metric)
+		}
 		return db, true, err
 	}
 	db = gen()
-	if err := WritePack(path, db, 0, s.opts.PageSize, &s.m); err != nil {
+	if err := WritePackMetric(path, db, s.opts.Metric, 0, s.opts.PageSize, &s.m); err != nil {
 		return nil, false, err
 	}
 	return db, false, nil

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+	"repro/internal/lbs"
+)
+
+// TestGeoScenariosDeterministicAndInBounds pins the geodesic
+// generators: same seed ⇒ same city under either density law, every
+// point inside the degree bounds, metric recorded.
+func TestGeoScenariosDeterministicAndInBounds(t *testing.T) {
+	for _, den := range []Density{DensityGauss, DensityZipf} {
+		a := GeoUS(500, 7, den)
+		b := GeoUS(500, 7, den)
+		if a.Metric != geo.Haversine {
+			t.Fatalf("metric = %v, want haversine", a.Metric)
+		}
+		for i := 0; i < a.DB.Len(); i++ {
+			if a.DB.Tuple(i).Loc != b.DB.Tuple(i).Loc {
+				t.Fatalf("density %s: seed 7 not deterministic at tuple %d", den, i)
+			}
+			if !a.Bounds.Contains(a.DB.Tuple(i).Loc) {
+				t.Fatalf("density %s: tuple %d outside bounds", den, i)
+			}
+		}
+	}
+}
+
+// TestZipfDensityIsHeavierTailed pins the density law itself: under
+// zipf, the median distance to the nearest cluster-free sample is not
+// the point — the share of points far from every cluster core must
+// exceed the Gaussian scenario's (long suburban tails), while the
+// dense-core share stays comparable. A crude but seed-stable witness:
+// the spread (95th percentile pairwise-to-centroid distance over the
+// 50th) is strictly larger under zipf.
+func TestZipfDensityIsHeavierTailed(t *testing.T) {
+	spread := func(den Density) float64 {
+		pts := ClusterMix(ClusterMixConfig{
+			Bounds: geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000)),
+			N:      4000, Clusters: 1, UniformFrac: 0, Density: den, Seed: 5,
+		})
+		var cx, cy float64
+		for _, p := range pts {
+			cx += p.X
+			cy += p.Y
+		}
+		c := geom.Pt(cx/float64(len(pts)), cy/float64(len(pts)))
+		ds := make([]float64, len(pts))
+		for i, p := range pts {
+			ds[i] = p.Dist(c)
+		}
+		// Selection by sorting is fine at this size.
+		for i := 1; i < len(ds); i++ {
+			for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+		return ds[len(ds)*95/100] / ds[len(ds)/2]
+	}
+	g, z := spread(DensityGauss), spread(DensityZipf)
+	if z <= g {
+		t.Fatalf("zipf spread %.2f not heavier-tailed than gauss %.2f", z, g)
+	}
+}
+
+// TestProjectedGroundTruthWithinDistortionBound pins the documented
+// projected-plane approximation end to end: a city-scale geodesic
+// scenario projected through Scenario.Project yields a Euclidean
+// database whose kNN distance profile matches the geodesic service's
+// within the measured equirectangular distortion bound — the error
+// budget the Voronoi/cell ground truth inherits when it runs on the
+// projected plane.
+func TestProjectedGroundTruthWithinDistortionBound(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(-105, 39), geom.Pt(-103, 41))
+	sc := Cities("geo-city", bounds, geo.Haversine, DensityGauss, 2000, 8, 3)
+	psc, proj := sc.Project()
+	if psc.Metric != geo.Euclidean {
+		t.Fatalf("projected metric = %v, want euclidean", psc.Metric)
+	}
+	bound := proj.MaxDistortion(bounds, 4000, 9)
+	if bound <= 0 || bound > 0.02 {
+		t.Fatalf("distortion bound %.4g outside (0, 2%%] for a 2°×2° box at 40°", bound)
+	}
+
+	gsvc := lbs.NewService(sc.DB, lbs.Options{K: 5, Metric: geo.Haversine})
+	psvc := lbs.NewService(psc.DB, lbs.Options{K: 5})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		q := geom.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height())
+		grecs, err := gsvc.QueryLR(ctx, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		precs, err := psvc.QueryLR(ctx, proj.Forward(q), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(grecs) != len(precs) {
+			t.Fatalf("query %d: %d vs %d records", i, len(grecs), len(precs))
+		}
+		// The j-th smallest distance under a (1±ε)-distorted metric is
+		// within ε of the true j-th smallest, even when the tuples at
+		// rank j differ.
+		for j := range grecs {
+			dg, dp := grecs[j].Dist, precs[j].Dist
+			if diff := dp - dg; diff < -bound*dg-1e-9 || diff > bound*dg+1e-9 {
+				t.Fatalf("query %d rank %d: planar %.6f vs geodesic %.6f exceeds distortion bound %.4g",
+					i, j, dp, dg, bound)
+			}
+		}
+	}
+}

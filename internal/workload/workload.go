@@ -24,10 +24,35 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/lbs"
 	"repro/internal/sampling"
 )
+
+// Density selects the radial law cluster points spread by.
+type Density string
+
+const (
+	// DensityGauss places cluster points with Gaussian (light-tailed)
+	// radial spread — the default, and the historical behavior.
+	DensityGauss Density = "gauss"
+	// DensityZipf places cluster points with a heavy-tailed power-law
+	// (Pareto) radial spread: very dense urban cores with long suburban
+	// tails, exaggerating the Voronoi cell-size skew of Figure 11.
+	DensityZipf Density = "zipf"
+)
+
+// ParseDensity maps a flag value to a Density ("" = gauss).
+func ParseDensity(s string) (Density, error) {
+	switch Density(s) {
+	case "", DensityGauss:
+		return DensityGauss, nil
+	case DensityZipf:
+		return DensityZipf, nil
+	}
+	return "", fmt.Errorf("workload: unknown density %q (want gauss|zipf)", s)
+}
 
 // ClusterMixConfig describes an urban/rural mixture: tuples are placed
 // in Gaussian clusters ("cities") with Zipf-distributed sizes, plus a
@@ -48,6 +73,9 @@ type ClusterMixConfig struct {
 	// ZipfS is the Zipf exponent for cluster sizes (default 1.0:
 	// city sizes follow a power law).
 	ZipfS float64
+	// Density is the radial law points spread around their cluster
+	// center by (default DensityGauss).
+	Density Density
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -64,6 +92,9 @@ func (c *ClusterMixConfig) fill() {
 	}
 	if c.ZipfS <= 0 {
 		c.ZipfS = 1.0
+	}
+	if c.Density == "" {
+		c.Density = DensityGauss
 	}
 }
 
@@ -105,10 +136,25 @@ func ClusterMix(cfg ClusterMixConfig) []geom.Point {
 				}
 				u -= weights[ci]
 			}
-			p = geom.Pt(
-				centers[ci].X+rng.NormFloat64()*std,
-				centers[ci].Y+rng.NormFloat64()*std,
-			)
+			if cfg.Density == DensityZipf {
+				// Heavy-tailed radial offset: Pareto II with tail index 1.5
+				// (infinite variance), isotropic direction. The scale is
+				// chosen so the median offset roughly matches the Gaussian's,
+				// keeping urban cores comparable while the tails stretch far
+				// beyond anything Gaussian clusters produce.
+				u := 1 - rng.Float64() // (0, 1]
+				r := std * 1.15 * (math.Pow(u, -1/1.5) - 1)
+				theta := rng.Float64() * 2 * math.Pi
+				p = geom.Pt(
+					centers[ci].X+r*math.Cos(theta),
+					centers[ci].Y+r*math.Sin(theta),
+				)
+			} else {
+				p = geom.Pt(
+					centers[ci].X+rng.NormFloat64()*std,
+					centers[ci].Y+rng.NormFloat64()*std,
+				)
+			}
 		}
 		if cfg.Bounds.Contains(p) {
 			pts = append(pts, p)
@@ -123,6 +169,11 @@ func ClusterMix(cfg ClusterMixConfig) []geom.Point {
 type Scenario struct {
 	Name   string
 	Bounds geom.Rect
+	// Metric is the distance metric the scenario's coordinates are laid
+	// out for: the planar scenarios (km coordinates) are Euclidean, the
+	// Geo* scenarios (lon/lat degrees) Haversine. Services, routers,
+	// caches and packs built over the database must use it.
+	Metric geo.Metric
 	DB     *lbs.Database
 	// Grid is a density estimate correlated with tuple density — the
 	// stand-in for US-Census population data (§5.2). It is derived
